@@ -1,0 +1,104 @@
+package repro_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart exercises the root package the way the README
+// quickstart does: boot a cluster, stage data, read through the
+// fault-tolerant client, kill a node, keep reading.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster, err := repro.NewCluster(repro.ClusterConfig{
+		Nodes:        4,
+		Strategy:     repro.StrategyNVMe,
+		RPCTimeout:   60 * time.Millisecond,
+		TimeoutLimit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ds := repro.CosmoFlowTrain().Scaled(16384).WithFileBytes(512)
+	if _, err := cluster.Stage(ds); err != nil {
+		t.Fatal(err)
+	}
+	client, _, err := cluster.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	for i := 0; i < ds.NumFiles; i++ {
+		if _, err := client.Read(ctx, ds.FilePath(i)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+
+	if err := cluster.Fail(cluster.Nodes()[1], repro.FailUnresponsive); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.NumFiles; i++ {
+		if _, err := client.Read(ctx, ds.FilePath(i)); err != nil {
+			t.Fatalf("post-failure read %d: %v", i, err)
+		}
+	}
+}
+
+func TestPublicAPITraining(t *testing.T) {
+	cluster, err := repro.NewCluster(repro.ClusterConfig{
+		Nodes:        3,
+		Strategy:     repro.StrategyNVMe,
+		RPCTimeout:   60 * time.Millisecond,
+		TimeoutLimit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ds := repro.CosmoFlowTrain().Scaled(32768).WithFileBytes(128)
+	cluster.Stage(ds)
+
+	trainer, err := repro.NewTrainer(repro.TrainConfig{
+		Cluster:   cluster,
+		Dataset:   repro.TrainDataset(ds),
+		Workers:   3,
+		Epochs:    2,
+		BatchSize: 2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trainer.Close()
+	rep, err := trainer.Run(context.Background())
+	if err != nil || rep.Aborted {
+		t.Fatalf("run: %v aborted=%v", err, rep.Aborted)
+	}
+	if len(rep.Epochs) != 2 {
+		t.Errorf("epochs = %d", len(rep.Epochs))
+	}
+}
+
+func TestPublicAPIRing(t *testing.T) {
+	nodes := []repro.NodeID{"a", "b", "c"}
+	ring := repro.NewRing(repro.RingConfig{VirtualNodes: 50}, nodes)
+	owner, ok := ring.Owner("some/file")
+	if !ok {
+		t.Fatal("no owner")
+	}
+	found := false
+	for _, n := range nodes {
+		if n == owner {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("owner %q not in node set", owner)
+	}
+}

@@ -1,0 +1,102 @@
+// Command ftcbench regenerates the paper's tables and figures from the
+// reproduction's implementations.
+//
+// Usage:
+//
+//	ftcbench -exp all                 # every experiment at paper scale
+//	ftcbench -exp fig5b -scale quick  # one experiment, seconds-scale
+//	ftcbench -exp fig6b -seed 7
+//
+// Experiments: table1, fig1, fig2, fig5a, fig5b, fig6a, fig6b, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig1|fig2|fig5a|fig5b|fig6a|fig6b|extrepl|extvnode|all")
+	scaleName := flag.String("scale", "paper", "scale: paper|quick")
+	seed := flag.Int64("seed", 1, "random seed")
+	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for each experiment")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "quick":
+		scale = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	run := func(name string, f func(experiments.Scale) interface{ Format() string }) {
+		start := time.Now()
+		out := f(scale)
+		fmt.Println(out.Format())
+		fmt.Printf("  [%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csvDir == "" {
+			return
+		}
+		cw, ok := out.(experiments.CSVWriter)
+		if !ok {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		file, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cw.WriteCSV(file); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		file.Close()
+		fmt.Printf("  [wrote %s]\n\n", path)
+	}
+
+	all := map[string]func(experiments.Scale) interface{ Format() string }{
+		"table1":   func(s experiments.Scale) interface{ Format() string } { return experiments.Table1(s) },
+		"fig1":     func(s experiments.Scale) interface{ Format() string } { return experiments.Fig1(s) },
+		"fig2":     func(s experiments.Scale) interface{ Format() string } { return experiments.Fig2(s) },
+		"fig5a":    func(s experiments.Scale) interface{ Format() string } { return experiments.Fig5a(s) },
+		"fig5b":    func(s experiments.Scale) interface{ Format() string } { return experiments.Fig5b(s) },
+		"fig6a":    func(s experiments.Scale) interface{ Format() string } { return experiments.Fig6a(s) },
+		"fig6b":    func(s experiments.Scale) interface{ Format() string } { return experiments.Fig6b(s) },
+		"extrepl":  func(s experiments.Scale) interface{ Format() string } { return experiments.ExtReplication(s) },
+		"extvnode": func(s experiments.Scale) interface{ Format() string } { return experiments.ExtVnodeSweep(s) },
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "fig1", "fig2", "fig5a", "fig5b", "fig6a", "fig6b",
+			"extrepl", "extvnode",
+		} {
+			run(name, all[name])
+		}
+		return
+	}
+	f, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp, f)
+}

@@ -1,0 +1,70 @@
+// Command ftcserver runs one FT-Cache (HVAC) server daemon over TCP —
+// the equivalent of the artifact's `srun ./ftc_server`.
+//
+// The daemon owns this node's cache tier and falls back to the PFS
+// directory on miss:
+//
+//	ftcserver -node node-0000 -listen :7070 -pfs /mnt/lustre/dataset \
+//	          -nvme-capacity 3500000000000
+//
+// Point every training rank's client (or ftcctl) at the fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/hvac"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+func main() {
+	node := flag.String("node", "node-0000", "this server's node identity")
+	listen := flag.String("listen", ":7070", "TCP listen address")
+	pfsDir := flag.String("pfs", "", "directory served as the PFS tier (required)")
+	capacity := flag.Int64("nvme-capacity", 0, "cache capacity in bytes (0 = unbounded)")
+	queue := flag.Int("mover-queue", 256, "data-mover queue depth")
+	workers := flag.Int("mover-workers", 2, "data-mover worker count")
+	flag.Parse()
+
+	if *pfsDir == "" {
+		fmt.Fprintln(os.Stderr, "ftcserver: -pfs is required")
+		os.Exit(2)
+	}
+	pfs, err := storage.NewDirStore(*pfsDir)
+	if err != nil {
+		log.Fatalf("ftcserver: %v", err)
+	}
+
+	srv := hvac.NewServer(hvac.ServerConfig{
+		Node:            cluster.NodeID(*node),
+		NVMeCapacity:    *capacity,
+		MoverQueueDepth: *queue,
+		MoverWorkers:    *workers,
+	}, pfs)
+
+	lis, err := rpc.TCPNetwork{}.Listen(*listen)
+	if err != nil {
+		log.Fatalf("ftcserver: listen %s: %v", *listen, err)
+	}
+	log.Printf("ftcserver: node %s serving on %s, PFS root %s", *node, lis.Addr(), pfs.Root())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("ftcserver: %v, shutting down", s)
+		srv.Close()
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		log.Fatalf("ftcserver: serve: %v", err)
+	}
+	srv.Close()
+}

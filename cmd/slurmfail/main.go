@@ -1,0 +1,158 @@
+// Command slurmfail generates and analyzes sacct-format job logs — the
+// §III failure study as a standalone tool.
+//
+//	slurmfail gen -o frontier.sacct -jobs 181933 -seed 1
+//	slurmfail analyze frontier.sacct
+//
+// `analyze` accepts any `sacct -P -o JobID,State,NNodes,ElapsedRaw,Submit`
+// dump, so it runs unchanged against real scheduler logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/slurmlog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		genCmd(os.Args[2:])
+	case "analyze":
+		analyzeCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: slurmfail gen|analyze [flags]")
+	os.Exit(2)
+}
+
+func genCmd(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("o", "-", "output file (- = stdout)")
+	jobs := fs.Int("jobs", 181933, "job count")
+	weeks := fs.Int("weeks", 27, "weeks of production")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	cfg := slurmlog.FrontierDefaults(*seed)
+	cfg.Jobs = *jobs
+	cfg.Weeks = *weeks
+	recs := slurmlog.Generate(cfg)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := slurmlog.WriteSacct(w, recs); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records\n", len(recs))
+}
+
+func analyzeCmd(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	weeks := fs.Int("weeks", 27, "weeks in the Fig 1 series")
+	start := fs.String("start", "", "week-0 start (RFC3339 date); default = earliest submit")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("usage: slurmfail analyze <file>"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	recs, err := slurmlog.ParseSacct(f)
+	if err != nil {
+		fail(err)
+	}
+	if len(recs) == 0 {
+		fail(fmt.Errorf("no records in %s", fs.Arg(0)))
+	}
+
+	startTime := recs[0].Submit
+	for _, r := range recs {
+		if r.Submit.Before(startTime) {
+			startTime = r.Submit
+		}
+	}
+	if *start != "" {
+		t, err := time.Parse("2006-01-02", *start)
+		if err != nil {
+			fail(fmt.Errorf("bad -start: %w", err))
+		}
+		startTime = t
+	}
+
+	tab := slurmlog.ComputeTableI(recs)
+	fmt.Printf("Table I (from %s)\n", fs.Arg(0))
+	fmt.Printf("%-16s %9s %14s %14s\n", "Type", "Count", "Failure ratio", "Overall ratio")
+	fmt.Printf("%-16s %9d %14s %13.2f%%\n", "Total Jobs", tab.TotalJobs, "N/A", 100.0)
+	fmt.Printf("%-16s %9d %13.2f%% %13.2f%%\n", "Total Failures", tab.TotalFailures, 100.0, 100*tab.FailureRatio())
+	for _, row := range []struct {
+		name  string
+		state slurmlog.State
+		count int
+	}{
+		{"Node Fail", slurmlog.StateNodeFail, tab.NodeFail},
+		{"Timeout", slurmlog.StateTimeout, tab.Timeout},
+		{"Job Fail", slurmlog.StateJobFail, tab.JobFail},
+	} {
+		fmt.Printf("%-16s %9d %13.2f%% %13.2f%%\n", row.name, row.count,
+			100*tab.ShareOfFailures(row.state), 100*tab.ShareOfAll(row.state))
+	}
+
+	points, overall := slurmlog.Fig1(recs, startTime, *weeks)
+	fmt.Printf("\nFig 1: mean elapsed minutes of failed jobs per week (overall %.1f)\n", overall)
+	for _, p := range points {
+		fmt.Printf("  week %2d: all=%6.1f job=%6.1f timeout=%6.1f node=%6.1f (n=%d)\n",
+			p.Week, p.AllFailedMinutes, p.JobFailMinutes, p.TimeoutMinutes,
+			p.NodeFailMinutes, p.Failures)
+	}
+
+	printBuckets := func(title string, buckets []slurmlog.Bucket) {
+		fmt.Printf("\n%s\n", title)
+		for _, b := range buckets {
+			fmt.Printf("  %-12s total=%7d job=%5.1f%% timeout=%5.1f%% node=%5.1f%% nf+to=%5.1f%%\n",
+				b.Label, b.Total(),
+				100*b.Share(slurmlog.StateJobFail),
+				100*b.Share(slurmlog.StateTimeout),
+				100*b.Share(slurmlog.StateNodeFail),
+				100*b.NodeFailureClassShare())
+		}
+	}
+	printBuckets("Fig 2(a): failure mix by node count", slurmlog.Fig2a(recs))
+	printBuckets("Fig 2(b): failure mix by elapsed time", slurmlog.Fig2b(recs))
+
+	mtbf := slurmlog.EstimateMTBF(recs)
+	fmt.Printf("\nMTBF analysis (§III motivation)\n")
+	fmt.Printf("  observation span:        %v\n", mtbf.Span.Round(time.Hour))
+	fmt.Printf("  node-failure-class jobs: %d\n", mtbf.NodeFailureEvents)
+	fmt.Printf("  node-hours consumed:     %.0f\n", mtbf.NodeHours)
+	fmt.Printf("  per-node MTBF estimate:  %v\n", mtbf.PerNodeMTBF.Round(time.Hour))
+	for _, n := range []int{64, 256, 1024, 4096, 9408} {
+		fmt.Printf("  P(2h job on %5d nodes survives) = %.1f%%  (E[failures] = %.2f)\n",
+			n, 100*mtbf.SurvivalProbability(n, 2*time.Hour),
+			mtbf.ExpectedFailures(n, 2*time.Hour))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

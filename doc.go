@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Fault-Tolerant
+// Deep Learning Cache with Hash Ring for Load Balancing in HPC Systems"
+// (SC 2024): FT-Cache, a fault-tolerant extension of the HVAC
+// distributed node-local NVMe cache for large-scale deep-learning
+// training.
+//
+// The root package re-exports the library surface:
+//
+//   - Cluster boots an HVAC server fleet (in-process or TCP) over a
+//     shared PFS and hands out fault-tolerant clients.
+//   - The three strategies the paper evaluates are selected with
+//     StrategyNoFT, StrategyPFS and StrategyNVMe.
+//   - Training runs against the live cluster via repro/internal/dltrain,
+//     and at Frontier scale (64–1024 nodes) via the discrete-event model
+//     in repro/internal/trainsim.
+//   - Every table and figure of the paper regenerates through
+//     repro/internal/experiments (CLI: cmd/ftcbench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package repro

@@ -1,0 +1,50 @@
+// Load-balance study: the paper's Fig 6(b) as an interactive demo.
+// Sweeps the virtual-node count on a hash ring, fails a random node per
+// trial, and charts how many survivors share the recaching load versus
+// how many files each absorbs.
+//
+//	go run ./examples/loadbalance [-nodes 256] [-files 65536] [-trials 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/loadsim"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 256, "physical nodes on the ring")
+	files := flag.Int("files", 65536, "cached files")
+	trials := flag.Int("trials", 100, "Monte-Carlo trials per setting")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("hash-ring load redistribution after one node failure\n")
+	fmt.Printf("%d physical nodes, %d files, %d trials per point\n\n", *nodes, *files, *trials)
+
+	points := loadsim.Sweep(*nodes, *files, *trials, *seed, loadsim.PaperSweep)
+
+	maxRecv := 1.0
+	for _, p := range points {
+		if p.ReceiverMean > maxRecv {
+			maxRecv = p.ReceiverMean
+		}
+	}
+	fmt.Printf("%7s  %-44s %16s %14s\n", "vnodes", "receiver nodes (bar)", "receivers", "files/receiver")
+	for _, p := range points {
+		bar := strings.Repeat("█", int(p.ReceiverMean/maxRecv*40))
+		fmt.Printf("%7d  %-44s %9.1f ±%4.1f %8.1f ±%4.1f\n",
+			p.VirtualNodes, bar, p.ReceiverMean, p.ReceiverStdDev,
+			p.FilesPerNodeMean, p.FilesPerNodeStdDev)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the chart (paper §V-B.2):")
+	fmt.Println(" - more virtual nodes → more survivors share the recaching burst;")
+	fmt.Println(" - files per receiver falls and its spread tightens → balanced load;")
+	fmt.Println(" - growth flattens at high counts: once receivers ≈ lost files,")
+	fmt.Println("   extra virtual nodes only inflate ring memory and lookup cost.")
+	fmt.Println("   The paper's production choice is 100 per physical node.")
+}

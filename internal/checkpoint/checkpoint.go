@@ -1,0 +1,239 @@
+// Package checkpoint is the model-state half of fault-tolerant training.
+// FT-Cache protects the *input* data; the model itself survives failures
+// through periodic checkpoints (the FastPersist/DeepFreeze line of work
+// the paper cites, §I). This package implements the two-tier pattern
+// those systems converge on:
+//
+//   - write the checkpoint to node-local NVMe first (fast, off the
+//     training critical path),
+//   - drain it to the PFS asynchronously (durable against node loss),
+//   - restore from local if present, else from the PFS,
+//   - keep a bounded history and garbage-collect the rest.
+//
+// Every checkpoint carries an xxHash64 integrity seal; a corrupt or
+// truncated blob is rejected at load time rather than silently resuming
+// from garbage.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/wire"
+	"repro/internal/xhash"
+)
+
+// Meta identifies one checkpoint.
+type Meta struct {
+	// Epoch is the last fully completed epoch.
+	Epoch int
+	// Step is the global step within the run (0 for epoch-granularity).
+	Step int
+	// Workers is the rank count that produced the state.
+	Workers int
+}
+
+// Errors surfaced by the checkpointer.
+var (
+	// ErrNoCheckpoint: no usable checkpoint exists in either tier.
+	ErrNoCheckpoint = errors.New("checkpoint: none available")
+	// ErrCorrupt: the stored blob failed its integrity seal.
+	ErrCorrupt = errors.New("checkpoint: integrity check failed")
+)
+
+const (
+	magic      = 0xC4B7
+	formatVers = 1
+)
+
+// Config tunes a Checkpointer.
+type Config struct {
+	// Prefix namespaces checkpoint objects in both stores.
+	Prefix string
+	// Keep is how many recent checkpoints each tier retains; <= 0
+	// selects 2 (current + previous, the usual safety margin).
+	Keep int
+}
+
+// Checkpointer writes and restores checkpoints across the two tiers.
+// Safe for concurrent use; Save calls are serialized.
+type Checkpointer struct {
+	cfg   Config
+	local storage.Store // node-local NVMe tier (fast)
+	pfs   storage.Store // durable tier
+
+	mu      sync.Mutex
+	drainWG sync.WaitGroup
+}
+
+// New creates a Checkpointer over a local (may be nil for PFS-only
+// operation) and a durable store.
+func New(local, pfs storage.Store, cfg Config) (*Checkpointer, error) {
+	if pfs == nil {
+		return nil, errors.New("checkpoint: durable store is required")
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "checkpoints"
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = 2
+	}
+	return &Checkpointer{cfg: cfg, local: local, pfs: pfs}, nil
+}
+
+// objectPath orders lexicographically by (epoch, step) via zero-padding,
+// so Latest can sort paths directly.
+func (c *Checkpointer) objectPath(m Meta) string {
+	return fmt.Sprintf("%s/ckpt-%09d-%09d", c.cfg.Prefix, m.Epoch, m.Step)
+}
+
+// encode seals meta+state into one blob.
+func encode(m Meta, state []byte) []byte {
+	e := wire.NewBuffer(len(state) + 64)
+	e.U16(magic).U8(formatVers)
+	e.U64(uint64(m.Epoch)).U64(uint64(m.Step)).U64(uint64(m.Workers))
+	e.Bytes32(state)
+	sum := xhash.XXH64(e.Bytes(), 0)
+	e.U64(sum)
+	return e.Bytes()
+}
+
+// decode verifies the seal and splits the blob.
+func decode(blob []byte) (Meta, []byte, error) {
+	if len(blob) < 8 {
+		return Meta{}, nil, ErrCorrupt
+	}
+	body, tail := blob[:len(blob)-8], blob[len(blob)-8:]
+	d := wire.NewReader(tail)
+	if d.U64() != xhash.XXH64(body, 0) {
+		return Meta{}, nil, ErrCorrupt
+	}
+	d = wire.NewReader(body)
+	if d.U16() != magic || d.U8() != formatVers {
+		return Meta{}, nil, ErrCorrupt
+	}
+	m := Meta{
+		Epoch:   int(d.U64()),
+		Step:    int(d.U64()),
+		Workers: int(d.U64()),
+	}
+	state := d.Bytes32()
+	if d.Err() != nil {
+		return Meta{}, nil, ErrCorrupt
+	}
+	// Copy out of the blob so callers may retain it.
+	return m, append([]byte(nil), state...), nil
+}
+
+// Save writes the checkpoint to the local tier (if configured) and
+// drains it to the PFS asynchronously. It returns once the local write
+// completes — the training loop resumes immediately, as in FastPersist.
+func (c *Checkpointer) Save(m Meta, state []byte) error {
+	blob := encode(m, state)
+	path := c.objectPath(m)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.local != nil {
+		if err := c.local.Put(path, blob); err != nil {
+			return fmt.Errorf("checkpoint: local write: %w", err)
+		}
+		c.addAndGCLocked(c.local, path)
+	}
+	c.drainWG.Add(1)
+	go func(path string, blob []byte) {
+		defer c.drainWG.Done()
+		if err := c.pfs.Put(path, blob); err != nil {
+			return // durable drain is best-effort per save; next save retries
+		}
+		c.mu.Lock()
+		c.addAndGCLocked(c.pfs, path)
+		c.mu.Unlock()
+	}(path, blob)
+	return nil
+}
+
+// Drain blocks until every pending PFS write has landed.
+func (c *Checkpointer) Drain() { c.drainWG.Wait() }
+
+// Latest restores the most recent checkpoint, preferring the local tier
+// (fast restart on the same node) and falling back to the PFS (restart
+// anywhere). Corrupt candidates are skipped in favour of older intact
+// ones.
+func (c *Checkpointer) Latest() (Meta, []byte, error) {
+	if c.local != nil {
+		if m, s, err := c.latestFrom(c.local); err == nil {
+			return m, s, nil
+		}
+	}
+	return c.latestFrom(c.pfs)
+}
+
+// latestFrom scans a tier for the newest intact checkpoint.
+func (c *Checkpointer) latestFrom(st storage.Store) (Meta, []byte, error) {
+	paths := c.list(st)
+	for i := len(paths) - 1; i >= 0; i-- {
+		blob, err := st.Get(paths[i])
+		if err != nil {
+			continue
+		}
+		m, state, err := decode(blob)
+		if err != nil {
+			continue // corrupt: try the previous one
+		}
+		return m, state, nil
+	}
+	return Meta{}, nil, ErrNoCheckpoint
+}
+
+// list returns this prefix's checkpoint paths in ascending (epoch, step)
+// order. Store has no native listing, so the checkpointer tracks its own
+// objects via a manifest object per tier.
+func (c *Checkpointer) list(st storage.Store) []string {
+	manifest, err := st.Get(c.manifestPath())
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, line := range strings.Split(string(manifest), "\n") {
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Checkpointer) manifestPath() string { return c.cfg.Prefix + "/MANIFEST" }
+
+// writeList persists the manifest for a tier.
+func (c *Checkpointer) writeList(st storage.Store, paths []string) {
+	sort.Strings(paths)
+	_ = st.Put(c.manifestPath(), []byte(strings.Join(paths, "\n")))
+}
+
+// addAndGCLocked records a freshly written object in the tier's
+// manifest and enforces the retention bound. Caller holds c.mu.
+func (c *Checkpointer) addAndGCLocked(st storage.Store, path string) {
+	paths := c.list(st)
+	seen := false
+	for _, p := range paths {
+		if p == path {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		paths = append(paths, path)
+		sort.Strings(paths)
+	}
+	for len(paths) > c.cfg.Keep {
+		st.Delete(paths[0])
+		paths = paths[1:]
+	}
+	c.writeList(st, paths)
+}

@@ -1,0 +1,166 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newCkpt(t *testing.T, keep int) (*Checkpointer, *storage.NVMe, *storage.PFS) {
+	t.Helper()
+	local := storage.NewNVMe(0)
+	pfs := storage.NewPFS()
+	c, err := New(local, pfs, Config{Keep: keep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, local, pfs
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	c, _, _ := newCkpt(t, 2)
+	state := []byte("model-weights-epoch-3")
+	if err := c.Save(Meta{Epoch: 3, Step: 120, Workers: 8}, state); err != nil {
+		t.Fatal(err)
+	}
+	m, got, err := c.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 3 || m.Step != 120 || m.Workers != 8 {
+		t.Errorf("meta = %+v", m)
+	}
+	if !bytes.Equal(got, state) {
+		t.Errorf("state = %q", got)
+	}
+}
+
+func TestLatestPicksNewest(t *testing.T) {
+	c, _, _ := newCkpt(t, 5)
+	for e := 1; e <= 4; e++ {
+		if err := c.Save(Meta{Epoch: e, Workers: 4}, []byte(fmt.Sprintf("state-%d", e))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, state, err := c.Latest()
+	if err != nil || m.Epoch != 4 || string(state) != "state-4" {
+		t.Errorf("latest = %+v %q %v", m, state, err)
+	}
+}
+
+func TestRestoreFromPFSWhenLocalLost(t *testing.T) {
+	c, local, _ := newCkpt(t, 2)
+	c.Save(Meta{Epoch: 2, Workers: 4}, []byte("durable-state"))
+	c.Drain()
+	// Node dies: its NVMe contents vanish.
+	local.Clear()
+	m, state, err := c.Latest()
+	if err != nil || m.Epoch != 2 || string(state) != "durable-state" {
+		t.Errorf("pfs restore = %+v %q %v", m, state, err)
+	}
+}
+
+func TestNoCheckpoint(t *testing.T) {
+	c, _, _ := newCkpt(t, 2)
+	if _, _, err := c.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCorruptionDetectedAndSkipped(t *testing.T) {
+	c, local, pfs := newCkpt(t, 5)
+	c.Save(Meta{Epoch: 1}, []byte("good-old"))
+	c.Save(Meta{Epoch: 2}, []byte("bad-new"))
+	c.Drain()
+
+	// Corrupt the newest blob in both tiers.
+	path := c.objectPath(Meta{Epoch: 2})
+	for _, st := range []storage.Store{local, pfs} {
+		blob, err := st.Get(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evil := append([]byte(nil), blob...)
+		evil[len(evil)/2] ^= 0xFF
+		st.Put(path, evil)
+	}
+	m, state, err := c.Latest()
+	if err != nil {
+		t.Fatalf("restore failed entirely: %v", err)
+	}
+	if m.Epoch != 1 || string(state) != "good-old" {
+		t.Errorf("should have fallen back to intact epoch 1, got %+v %q", m, state)
+	}
+}
+
+func TestTruncatedBlobRejected(t *testing.T) {
+	blob := encode(Meta{Epoch: 1}, []byte("abc"))
+	for _, cut := range []int{0, 4, len(blob) - 1} {
+		if _, _, err := decode(blob[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut=%d err = %v", cut, err)
+		}
+	}
+	// Flip the magic.
+	evil := append([]byte(nil), blob...)
+	evil[0] ^= 0xFF
+	if _, _, err := decode(evil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic err = %v", err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	c, local, pfs := newCkpt(t, 2)
+	for e := 1; e <= 6; e++ {
+		c.Save(Meta{Epoch: e}, []byte{byte(e)})
+	}
+	c.Drain()
+	for _, tc := range []struct {
+		name string
+		st   storage.Store
+	}{{"local", local}, {"pfs", pfs}} {
+		objs, _ := tc.st.Stats()
+		// Keep=2 checkpoints + 1 manifest object.
+		if objs != 3 {
+			t.Errorf("%s objects = %d, want 3", tc.name, objs)
+		}
+		if tc.st.Has(c.objectPath(Meta{Epoch: 1})) {
+			t.Errorf("%s still holds epoch-1 checkpoint", tc.name)
+		}
+		if !tc.st.Has(c.objectPath(Meta{Epoch: 6})) {
+			t.Errorf("%s missing newest checkpoint", tc.name)
+		}
+	}
+}
+
+func TestPFSOnlyMode(t *testing.T) {
+	pfs := storage.NewPFS()
+	c, err := New(nil, pfs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Save(Meta{Epoch: 1}, []byte("x"))
+	c.Drain()
+	if _, state, err := c.Latest(); err != nil || string(state) != "x" {
+		t.Errorf("pfs-only restore: %q %v", state, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, Config{}); err == nil {
+		t.Error("nil durable store should fail")
+	}
+}
+
+func TestStepOrderingWithinEpoch(t *testing.T) {
+	c, _, _ := newCkpt(t, 5)
+	c.Save(Meta{Epoch: 2, Step: 100}, []byte("s100"))
+	c.Save(Meta{Epoch: 2, Step: 900}, []byte("s900"))
+	c.Save(Meta{Epoch: 2, Step: 50}, []byte("s50"))
+	m, state, err := c.Latest()
+	if err != nil || m.Step != 900 || string(state) != "s900" {
+		t.Errorf("latest = %+v %q %v", m, state, err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package cluster implements per-client membership tracking and the
+// timeout-based failure detector FT-Cache uses (paper §IV-A):
+//
+//	"Each HVAC client tracks active and faulty nodes, monitoring for
+//	 timeouts on each request. Upon a timeout, the client increments a
+//	 counter ... Once the timeout count for a specific node reaches a
+//	 predefined threshold, that node is flagged as failed."
+//
+// The counter exists to absorb transient network delays (false-positive
+// mitigation); a successful response resets it. Detection is purely
+// local — no inter-node communication — which is exactly what lets every
+// client converge on the same post-failure hash ring independently.
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/hashring"
+)
+
+// NodeID aliases the cluster-wide node identifier.
+type NodeID = hashring.NodeID
+
+// DefaultTimeoutLimit mirrors the artifact's TIMEOUT_LIMIT knob: the
+// number of consecutive RPC timeouts after which a node is declared
+// failed.
+const DefaultTimeoutLimit = 3
+
+// Status describes a tracked node.
+type Status uint8
+
+// Node statuses.
+const (
+	// Alive is a node with no outstanding suspicion.
+	Alive Status = iota
+	// Suspect is a node with 1..limit-1 consecutive timeouts.
+	Suspect
+	// Failed is a node past the timeout threshold (or manually marked).
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Failed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracker is a goroutine-safe failure detector over a fixed initial
+// membership. Failure listeners fire exactly once per node, outside the
+// tracker lock, in declaration order.
+type Tracker struct {
+	limit int
+
+	mu        sync.Mutex
+	counts    map[NodeID]int
+	failed    map[NodeID]bool
+	members   []NodeID // sorted, fixed at construction
+	memberSet map[NodeID]bool
+	listeners []func(NodeID)
+	// recovery listeners fire when a failed node is explicitly revived
+	// (elastic scale-up; never triggered by late responses).
+	recoveryListeners []func(NodeID)
+}
+
+// NewTracker creates a Tracker over nodes. limit <= 0 selects
+// DefaultTimeoutLimit.
+func NewTracker(nodes []NodeID, limit int) *Tracker {
+	if limit <= 0 {
+		limit = DefaultTimeoutLimit
+	}
+	t := &Tracker{
+		limit:     limit,
+		counts:    make(map[NodeID]int, len(nodes)),
+		failed:    make(map[NodeID]bool),
+		memberSet: make(map[NodeID]bool, len(nodes)),
+	}
+	t.members = append(t.members, nodes...)
+	sort.Slice(t.members, func(i, j int) bool { return t.members[i] < t.members[j] })
+	for _, n := range t.members {
+		t.memberSet[n] = true
+	}
+	return t
+}
+
+// Limit returns the configured timeout threshold.
+func (t *Tracker) Limit() int { return t.limit }
+
+// OnFailure registers fn to be called when a node is declared failed.
+// Listeners registered after a node already failed are NOT retroactively
+// invoked; register before serving traffic.
+func (t *Tracker) OnFailure(fn func(NodeID)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listeners = append(t.listeners, fn)
+}
+
+// RecordTimeout notes one RPC timeout against node. It returns true when
+// this call crossed the threshold and declared the node failed. Timeouts
+// against unknown or already-failed nodes are ignored.
+func (t *Tracker) RecordTimeout(node NodeID) bool {
+	t.mu.Lock()
+	if !t.memberSet[node] || t.failed[node] {
+		t.mu.Unlock()
+		return false
+	}
+	t.counts[node]++
+	if t.counts[node] < t.limit {
+		t.mu.Unlock()
+		return false
+	}
+	t.failed[node] = true
+	listeners := append(make([]func(NodeID), 0, len(t.listeners)), t.listeners...)
+	t.mu.Unlock()
+	for _, fn := range listeners {
+		fn(node)
+	}
+	return true
+}
+
+// RecordSuccess resets node's timeout counter: a transient delay followed
+// by a response must not accumulate toward failure. Successes from
+// already-failed nodes are ignored — the paper's design never resurrects
+// a node mid-job (a rejoin arrives via elastic restart instead).
+func (t *Tracker) RecordSuccess(node NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed[node] {
+		return
+	}
+	t.counts[node] = 0
+}
+
+// MarkFailed force-declares node failed (fault injection, or external
+// knowledge such as a scheduler DRAIN event). Returns true if the node
+// transitioned now.
+func (t *Tracker) MarkFailed(node NodeID) bool {
+	t.mu.Lock()
+	if !t.memberSet[node] || t.failed[node] {
+		t.mu.Unlock()
+		return false
+	}
+	t.failed[node] = true
+	listeners := append(make([]func(NodeID), 0, len(t.listeners)), t.listeners...)
+	t.mu.Unlock()
+	for _, fn := range listeners {
+		fn(node)
+	}
+	return true
+}
+
+// OnRecovery registers fn to be called when a failed node is revived via
+// Revive. Like failure listeners, recovery listeners run outside the
+// tracker lock.
+func (t *Tracker) OnRecovery(fn func(NodeID)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recoveryListeners = append(t.recoveryListeners, fn)
+}
+
+// Revive re-admits a previously failed member: elastic scale-up after
+// the scheduler hands the job a replacement (or repaired) node. This is
+// an explicit administrative action — unlike RecordSuccess, which never
+// resurrects, because a single late packet must not undo a declaration.
+// Returns true if the node transitioned back to Alive.
+func (t *Tracker) Revive(node NodeID) bool {
+	t.mu.Lock()
+	if !t.memberSet[node] || !t.failed[node] {
+		t.mu.Unlock()
+		return false
+	}
+	delete(t.failed, node)
+	t.counts[node] = 0
+	listeners := append(make([]func(NodeID), 0, len(t.recoveryListeners)), t.recoveryListeners...)
+	t.mu.Unlock()
+	for _, fn := range listeners {
+		fn(node)
+	}
+	return true
+}
+
+// StatusOf returns node's current status; unknown nodes report Failed so
+// callers never route to them.
+func (t *Tracker) StatusOf(node NodeID) Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case !t.memberSet[node] || t.failed[node]:
+		return Failed
+	case t.counts[node] > 0:
+		return Suspect
+	default:
+		return Alive
+	}
+}
+
+// IsAlive reports whether node is a member not declared failed
+// (Suspect counts as alive — it still receives traffic).
+func (t *Tracker) IsAlive(node NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.memberSet[node] && !t.failed[node]
+}
+
+// Alive returns the live members in sorted order.
+func (t *Tracker) Alive() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.members))
+	for _, n := range t.members {
+		if !t.failed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FailedNodes returns the declared-failed members in sorted order.
+func (t *Tracker) FailedNodes() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.failed))
+	for _, n := range t.members {
+		if t.failed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Members returns the full initial membership in sorted order.
+func (t *Tracker) Members() []NodeID {
+	return append([]NodeID(nil), t.members...)
+}
+
+// TimeoutCount returns node's current consecutive-timeout count.
+func (t *Tracker) TimeoutCount(node NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[node]
+}

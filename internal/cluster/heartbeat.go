@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The paper's detector is passive: failures surface only when a read
+// addressed to the dead node times out, so detection latency is bounded
+// by TTL × TIMEOUT_LIMIT *after* the first unlucky request. Heartbeat is
+// the proactive alternative: a background prober that feeds the same
+// Tracker, declaring nodes dead within Interval × FailThreshold of the
+// failure even if no reads touched them — at the cost of steady
+// background RPC chatter. The ablation in bench_test.go compares the
+// two; production FT-Cache can run both against one Tracker since the
+// evidence model (consecutive timeouts, success resets) is shared.
+
+// Pinger probes a node; a non-nil error is failure evidence.
+type Pinger interface {
+	Ping(ctx context.Context, node NodeID) error
+}
+
+// PingerFunc adapts a function to Pinger.
+type PingerFunc func(ctx context.Context, node NodeID) error
+
+// Ping implements Pinger.
+func (f PingerFunc) Ping(ctx context.Context, node NodeID) error { return f(ctx, node) }
+
+// HeartbeatConfig tunes the prober.
+type HeartbeatConfig struct {
+	// Interval between probe rounds; <= 0 selects 500ms.
+	Interval time.Duration
+	// Timeout per probe; <= 0 selects Interval/2.
+	Timeout time.Duration
+	// Parallelism bounds concurrent probes per round; <= 0 selects 8.
+	Parallelism int
+}
+
+// Heartbeat periodically probes every live member of a Tracker.
+type Heartbeat struct {
+	cfg     HeartbeatConfig
+	tracker *Tracker
+	pinger  Pinger
+
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	done    chan struct{}
+	rounds  int
+	started bool
+}
+
+// NewHeartbeat creates a prober bound to tracker and pinger.
+func NewHeartbeat(tracker *Tracker, pinger Pinger, cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval / 2
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 8
+	}
+	return &Heartbeat{cfg: cfg, tracker: tracker, pinger: pinger}
+}
+
+// Start launches the probe loop; calling Start twice is a no-op.
+func (h *Heartbeat) Start() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.started {
+		return
+	}
+	h.started = true
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	h.done = make(chan struct{})
+	go h.loop(ctx)
+}
+
+// Stop halts probing and waits for the loop to exit. Safe to call
+// without Start or repeatedly.
+func (h *Heartbeat) Stop() {
+	h.mu.Lock()
+	if !h.started {
+		h.mu.Unlock()
+		return
+	}
+	h.started = false
+	cancel, done := h.cancel, h.done
+	h.mu.Unlock()
+	cancel()
+	<-done
+}
+
+// Rounds returns how many probe rounds have completed.
+func (h *Heartbeat) Rounds() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rounds
+}
+
+func (h *Heartbeat) loop(ctx context.Context) {
+	defer close(h.done)
+	ticker := time.NewTicker(h.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		h.probeRound(ctx)
+		h.mu.Lock()
+		h.rounds++
+		h.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probeRound pings every live member and feeds the tracker.
+func (h *Heartbeat) probeRound(ctx context.Context) {
+	alive := h.tracker.Alive()
+	sem := make(chan struct{}, h.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, node := range alive {
+		node := node
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			probeCtx, cancel := context.WithTimeout(ctx, h.cfg.Timeout)
+			defer cancel()
+			if err := h.pinger.Ping(probeCtx, node); err != nil {
+				if ctx.Err() == nil { // don't count shutdown as evidence
+					h.tracker.RecordTimeout(node)
+				}
+				return
+			}
+			h.tracker.RecordSuccess(node)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePinger fails for nodes in the dead set.
+type fakePinger struct {
+	mu    sync.Mutex
+	dead  map[NodeID]bool
+	calls map[NodeID]int
+}
+
+func newFakePinger() *fakePinger {
+	return &fakePinger{dead: make(map[NodeID]bool), calls: make(map[NodeID]int)}
+}
+
+func (p *fakePinger) kill(n NodeID) {
+	p.mu.Lock()
+	p.dead[n] = true
+	p.mu.Unlock()
+}
+
+func (p *fakePinger) Ping(_ context.Context, n NodeID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls[n]++
+	if p.dead[n] {
+		return errors.New("probe timeout")
+	}
+	return nil
+}
+
+func TestHeartbeatDetectsDeadNode(t *testing.T) {
+	tr := NewTracker(members(4), 2)
+	p := newFakePinger()
+	declared := make(chan NodeID, 1)
+	tr.OnFailure(func(n NodeID) { declared <- n })
+
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{Interval: 5 * time.Millisecond})
+	p.kill("node-02")
+	hb.Start()
+	defer hb.Stop()
+
+	select {
+	case n := <-declared:
+		if n != "node-02" {
+			t.Errorf("declared %s, want node-02", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeat never declared the dead node")
+	}
+	if tr.IsAlive("node-02") {
+		t.Error("node still alive after declaration")
+	}
+	// Healthy nodes stay alive.
+	for _, n := range []NodeID{"node-00", "node-01", "node-03"} {
+		if !tr.IsAlive(n) {
+			t.Errorf("%s wrongly declared", n)
+		}
+	}
+}
+
+func TestHeartbeatSkipsDeclaredNodes(t *testing.T) {
+	tr := NewTracker(members(2), 1)
+	p := newFakePinger()
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{Interval: 5 * time.Millisecond})
+	p.kill("node-01")
+	hb.Start()
+	// Wait for detection plus several more rounds.
+	deadline := time.After(2 * time.Second)
+	for tr.IsAlive("node-01") {
+		select {
+		case <-deadline:
+			t.Fatal("never detected")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.mu.Lock()
+	callsAtDetection := p.calls["node-01"]
+	p.mu.Unlock()
+	for hb.Rounds() < 20 {
+		time.Sleep(time.Millisecond)
+	}
+	hb.Stop()
+	p.mu.Lock()
+	callsAfter := p.calls["node-01"]
+	p.mu.Unlock()
+	// Dead nodes drop out of Alive() and must not keep being probed
+	// (allow one in-flight round of slack).
+	if callsAfter > callsAtDetection+2 {
+		t.Errorf("dead node probed %d more times after declaration", callsAfter-callsAtDetection)
+	}
+}
+
+func TestHeartbeatTransientBlipNoDeclaration(t *testing.T) {
+	tr := NewTracker(members(1), 3)
+	p := newFakePinger()
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{Interval: 3 * time.Millisecond})
+	hb.Start()
+	// One failed probe, then recovery: with limit 3 nothing declares.
+	p.kill("node-00")
+	time.Sleep(5 * time.Millisecond)
+	p.mu.Lock()
+	p.dead["node-00"] = false
+	p.mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	hb.Stop()
+	if !tr.IsAlive("node-00") {
+		t.Error("transient blip should not declare failure")
+	}
+}
+
+func TestHeartbeatStartStopIdempotent(t *testing.T) {
+	tr := NewTracker(members(2), 2)
+	hb := NewHeartbeat(tr, newFakePinger(), HeartbeatConfig{Interval: time.Millisecond})
+	hb.Stop() // before start: no-op
+	hb.Start()
+	hb.Start() // double start: no-op
+	for hb.Rounds() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	hb.Stop()
+	hb.Stop() // double stop: no-op
+	rounds := hb.Rounds()
+	time.Sleep(10 * time.Millisecond)
+	if hb.Rounds() != rounds {
+		t.Error("probing continued after Stop")
+	}
+}
+
+func TestHeartbeatDefaults(t *testing.T) {
+	hb := NewHeartbeat(NewTracker(members(1), 1), newFakePinger(), HeartbeatConfig{})
+	if hb.cfg.Interval != 500*time.Millisecond {
+		t.Errorf("interval = %v", hb.cfg.Interval)
+	}
+	if hb.cfg.Timeout != 250*time.Millisecond {
+		t.Errorf("timeout = %v", hb.cfg.Timeout)
+	}
+	if hb.cfg.Parallelism != 8 {
+		t.Errorf("parallelism = %d", hb.cfg.Parallelism)
+	}
+}

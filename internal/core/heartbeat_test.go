@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ftcache"
+)
+
+// TestProactiveDetectionAvoidsReadTimeouts wires the heartbeat prober to
+// a live client: the failure is declared in the background, so the first
+// read after the failure routes straight to the new owner without ever
+// waiting out a read-path timeout — the latency win over the paper's
+// passive detection.
+func TestProactiveDetectionAvoidsReadTimeouts(t *testing.T) {
+	c := newTestCluster(t, 4, ftcache.KindNVMe)
+	ds := smallDataset(60)
+	c.Stage(ds)
+	c.WarmCache(ds)
+	cli, _, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	// The client doubles as the heartbeat's Pinger; both feed the same
+	// tracker, which notifies the router on declaration.
+	hb := cluster.NewHeartbeat(cli.Tracker(), cli, cluster.HeartbeatConfig{
+		Interval: 10 * time.Millisecond,
+		Timeout:  30 * time.Millisecond,
+	})
+	hb.Start()
+	defer hb.Stop()
+
+	victim := c.Nodes()[1]
+	c.Fail(victim, FailUnresponsive)
+
+	// Wait for proactive declaration — no reads issued meanwhile.
+	deadline := time.After(3 * time.Second)
+	for cli.Tracker().IsAlive(victim) {
+		select {
+		case <-deadline:
+			t.Fatal("heartbeat never declared the victim")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	before := cli.Stats().Timeouts
+	for i := 0; i < ds.NumFiles; i++ {
+		if err := VerifyRead(ctx, cli, ds, i); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	after := cli.Stats().Timeouts
+	if after != before {
+		t.Errorf("read path observed %d timeouts despite proactive detection", after-before)
+	}
+	if n := cli.Stats().FailoverReads; n != 0 {
+		t.Errorf("failover retries = %d, want 0 (routing already updated)", n)
+	}
+}

@@ -1,0 +1,56 @@
+// Package dltrain is the data-parallel training loop of the
+// reproduction: the stand-in for CosmoFlow-on-Horovod (paper §V-A).
+//
+// Functionally it does what matters to the cache layer: every epoch it
+// shuffles the sample order (triggering the random re-reads that make DL
+// I/O hard, §II-A), shards batches across ranks, reads every sample
+// through an HVAC client, and synchronizes ranks at batch boundaries —
+// the barrier that turns one slow node into a global straggler. On node
+// failure it emulates Horovod elastic: drop the dead rank, roll back to
+// the start of the epoch, continue with N-1 workers.
+package dltrain
+
+import (
+	"math/rand"
+)
+
+// Shuffle returns a deterministic permutation of [0, n) for the given
+// epoch: the per-epoch reshuffling of the dataset. Every rank computes
+// the same permutation from the shared seed, as Horovod's samplers do.
+func Shuffle(n int, seed int64, epoch int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed + int64(epoch)*1_000_003))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// Shard returns the sample indices rank reads in the given global step:
+// batch b of worker w out of W, each of size batchSize, drawn from
+// order. The final step may be short or empty.
+func Shard(order []int, step, rank, workers, batchSize int) []int {
+	if workers <= 0 || batchSize <= 0 {
+		return nil
+	}
+	stride := workers * batchSize
+	start := step*stride + rank*batchSize
+	if start >= len(order) {
+		return nil
+	}
+	end := start + batchSize
+	if end > len(order) {
+		end = len(order)
+	}
+	return order[start:end]
+}
+
+// Steps returns the number of global steps per epoch for n samples.
+func Steps(n, workers, batchSize int) int {
+	if workers <= 0 || batchSize <= 0 {
+		return 0
+	}
+	stride := workers * batchSize
+	return (n + stride - 1) / stride
+}

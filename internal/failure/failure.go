@@ -1,0 +1,106 @@
+// Package failure builds the fault-injection plans the experiments use,
+// mirroring the paper's §V-A.3 protocol: node failures are injected at
+// random points strictly after the first epoch (so the cache is fully
+// populated), with both timing and victim selection randomized; in the
+// artifact this was done with `scontrol update NodeName=<n> State=DRAIN`.
+//
+// One Plan converts into both execution forms: live-cluster events for
+// the dltrain trainer and virtual-time specs for the trainsim model, so
+// live runs and simulations inject the same failures.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dltrain"
+	"repro/internal/trainsim"
+)
+
+// Event is one planned node failure.
+type Event struct {
+	// Epoch (0-based) in which the failure strikes; always >= 1 per the
+	// paper's protocol.
+	Epoch int
+	// Frac is the position within the epoch, in [0, 1).
+	Frac float64
+	// Rank is the victim's rank index; -1 = choose randomly at fire time.
+	Rank int
+	// Mode is how the node dies on a live cluster.
+	Mode core.FailureMode
+}
+
+// Plan is an ordered set of failures for one run.
+type Plan struct {
+	Events []Event
+}
+
+// RandomPlan draws `count` single-node failures over `epochs` epochs,
+// random victims, deterministic for a seed. fracMax bounds how deep into
+// an epoch a failure may strike (the paper's drains are armed at epoch
+// boundaries, so strikes land early; pass 1.0 for uniform timing).
+func RandomPlan(count, epochs int, fracMax float64, seed int64) Plan {
+	if epochs < 2 {
+		panic("failure: need at least 2 epochs (failures start after epoch 1)")
+	}
+	if fracMax <= 0 || fracMax > 1 {
+		fracMax = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Events: make([]Event, count)}
+	for i := range p.Events {
+		p.Events[i] = Event{
+			Epoch: 1 + rng.Intn(epochs-1),
+			Frac:  rng.Float64() * fracMax,
+			Rank:  -1,
+			Mode:  core.FailUnresponsive,
+		}
+	}
+	return p
+}
+
+// SingleAt is a convenience plan with one pinned failure.
+func SingleAt(epoch int, frac float64, rank int, mode core.FailureMode) Plan {
+	return Plan{Events: []Event{{Epoch: epoch, Frac: frac, Rank: rank, Mode: mode}}}
+}
+
+// LiveEvents converts the plan for the live trainer. stepsPerEpoch maps
+// Frac onto a step index; node resolution of random victims is deferred
+// to the trainer (empty NodeID).
+func (p Plan) LiveEvents(cluster *core.Cluster, stepsPerEpoch int) []dltrain.FailureEvent {
+	nodes := cluster.Nodes()
+	out := make([]dltrain.FailureEvent, 0, len(p.Events))
+	for _, e := range p.Events {
+		ev := dltrain.FailureEvent{
+			Epoch: e.Epoch,
+			Step:  int(e.Frac * float64(stepsPerEpoch)),
+			Mode:  e.Mode,
+		}
+		if e.Rank >= 0 && e.Rank < len(nodes) {
+			ev.Node = nodes[e.Rank]
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// SimSpecs converts the plan for the trainsim model.
+func (p Plan) SimSpecs() []trainsim.FailureSpec {
+	out := make([]trainsim.FailureSpec, 0, len(p.Events))
+	for _, e := range p.Events {
+		out = append(out, trainsim.FailureSpec{
+			Epoch: e.Epoch,
+			Frac:  e.Frac,
+			Node:  e.Rank,
+		})
+	}
+	return out
+}
+
+// DrainCommand renders the SLURM command the artifact used to realize
+// event on a real machine — documentation of the real-world equivalent
+// of core.Cluster.Fail.
+func DrainCommand(node string) string {
+	return fmt.Sprintf("scontrol update NodeName=%s State=DRAIN Reason=ftcache-inject", node)
+}

@@ -1,0 +1,62 @@
+package hashring_test
+
+import (
+	"fmt"
+
+	"repro/internal/hashring"
+)
+
+// The core FT-Cache flow: place files on a ring, lose a node, observe
+// that only the lost node's files move — each to the clockwise
+// successor that will recache it.
+func Example() {
+	ring := hashring.NewWithNodes(
+		hashring.Config{VirtualNodes: 100, Seed: 42},
+		[]hashring.NodeID{"node-0", "node-1", "node-2", "node-3"},
+	)
+
+	files := make([]string, 400)
+	for i := range files {
+		files[i] = fmt.Sprintf("cosmo/univ_%07d.tfrecord", i)
+	}
+	before := make(map[string]hashring.NodeID, len(files))
+	for _, f := range files {
+		before[f], _ = ring.Owner(f)
+	}
+
+	plan := ring.PlanRecache("node-1", files)
+	ring.Remove("node-1")
+
+	moved, stable := 0, true
+	for _, f := range files {
+		after, _ := ring.Owner(f)
+		if before[f] == "node-1" {
+			moved++
+		} else if after != before[f] {
+			stable = false
+		}
+	}
+	fmt.Printf("lost files match the recache plan: %v\n", moved == plan.Lost)
+	fmt.Printf("surviving placements untouched:   %v\n", stable)
+	fmt.Printf("receivers share the burst:        %v\n", plan.Receivers() > 1)
+	// Output:
+	// lost files match the recache plan: true
+	// surviving placements untouched:   true
+	// receivers share the burst:        true
+}
+
+// Virtual nodes spread a failed node's load: with V points per node the
+// lost arcs scatter across up to V distinct successors.
+func Example_balance() {
+	nodes := make([]hashring.NodeID, 16)
+	for i := range nodes {
+		nodes[i] = hashring.NodeID(fmt.Sprintf("n%02d", i))
+	}
+	ring := hashring.NewWithNodes(hashring.Config{VirtualNodes: 100, Seed: 1}, nodes)
+	rep := ring.Balance()
+	fmt.Printf("members: %d\n", rep.Nodes)
+	fmt.Printf("well balanced: %v\n", rep.CoeffVar < 0.25)
+	// Output:
+	// members: 16
+	// well balanced: true
+}

@@ -1,0 +1,346 @@
+// Package hashring implements the consistent-hash ring with virtual nodes
+// that FT-Cache uses for load-balanced elastic recaching (paper §IV-B).
+//
+// Both data items (file paths) and nodes are mapped onto a logical
+// circular 64-bit hash space. A key is owned by the node whose point is
+// nearest in the clockwise direction. Each physical node contributes V
+// virtual points so that, when a node fails, its load is spread over many
+// successors instead of a single neighbour.
+//
+// Two interchangeable implementations are provided:
+//
+//   - Ring: a sorted point slice with binary-search lookup — O(log P)
+//     lookups, O(P) membership change (P = total virtual points). This is
+//     the default and the fastest for the read-dominated cache path.
+//   - TreeRing (llrb.go): a left-leaning red-black tree, the closest Go
+//     equivalent of the std::map the paper's C++ artifact used —
+//     O(log P) for both lookups and membership changes.
+//
+// The shared behaviour is captured by the Locator interface so the two
+// can be tested and benchmarked against each other.
+package hashring
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/xhash"
+)
+
+// NodeID identifies a physical node (an HVAC server instance).
+type NodeID string
+
+// Locator is the lookup surface shared by ring implementations.
+type Locator interface {
+	// Owner returns the node owning key, or ok=false if the ring is empty.
+	Owner(key string) (NodeID, bool)
+	// Add inserts a physical node (with its virtual points).
+	Add(node NodeID)
+	// Remove deletes a physical node and all its virtual points.
+	Remove(node NodeID)
+	// Nodes returns the current physical members in unspecified order.
+	Nodes() []NodeID
+	// Len returns the number of physical members.
+	Len() int
+}
+
+type point struct {
+	hash uint64
+	node NodeID
+}
+
+// Config controls ring construction.
+type Config struct {
+	// VirtualNodes is the number of points each physical node contributes.
+	// The paper's production setting is 100 (§V-A, "virtual node count is
+	// set to 100 per physical node").
+	VirtualNodes int
+	// Seed perturbs all point and key hashes; every client in a job must
+	// use the same seed or they would disagree about ownership.
+	Seed uint64
+}
+
+// DefaultVirtualNodes is the paper's production virtual-node count.
+const DefaultVirtualNodes = 100
+
+// Ring is a consistent-hash ring backed by a sorted point slice.
+// It is safe for concurrent use: lookups take a read lock, membership
+// changes take a write lock. Membership changes are rare (node failures),
+// lookups happen on every I/O request.
+type Ring struct {
+	mu      sync.RWMutex
+	cfg     Config
+	points  []point             // sorted by (hash, node)
+	member  map[NodeID]struct{} // current physical nodes
+	weights map[NodeID]int      // per-node point counts for weighted members
+}
+
+// New creates an empty ring. A non-positive VirtualNodes falls back to
+// DefaultVirtualNodes.
+func New(cfg Config) *Ring {
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = DefaultVirtualNodes
+	}
+	return &Ring{
+		cfg:     cfg,
+		member:  make(map[NodeID]struct{}),
+		weights: make(map[NodeID]int),
+	}
+}
+
+// NewWithNodes creates a ring pre-populated with nodes, sorting the
+// point set once (O(P log P)) instead of per-member.
+func NewWithNodes(cfg Config, nodes []NodeID) *Ring {
+	r := New(cfg)
+	for _, n := range nodes {
+		if _, ok := r.member[n]; ok {
+			continue
+		}
+		r.member[n] = struct{}{}
+		for _, h := range pointsFor(n, r.cfg.VirtualNodes, r.cfg.Seed) {
+			r.points = append(r.points, point{hash: h, node: n})
+		}
+	}
+	sortPoints(r.points)
+	return r
+}
+
+func pointLessFn(a, b point) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.node < b.node
+}
+
+func sortPoints(pts []point) {
+	sort.Slice(pts, func(i, j int) bool { return pointLessFn(pts[i], pts[j]) })
+}
+
+// pointsFor derives the virtual point hashes for a node. The first point
+// is the seeded hash of the node ID; subsequent points come from a
+// splitmix64 stream so they are decorrelated yet deterministic.
+func pointsFor(node NodeID, vnodes int, seed uint64) []uint64 {
+	pts := make([]uint64, vnodes)
+	state := xhash.XXH64String(string(node), seed)
+	for i := range pts {
+		pts[i] = xhash.SplitMix64(&state)
+	}
+	return pts
+}
+
+// keyHash positions a key on the 64-bit ring; shared by all ring
+// implementations so they agree on ownership for equal configs.
+func keyHash(key string, seed uint64) uint64 {
+	return xhash.XXH64String(key, seed)
+}
+
+// KeyHash returns the position of key on the ring (seeded).
+func (r *Ring) KeyHash(key string) uint64 {
+	return keyHash(key, r.cfg.Seed)
+}
+
+// Add inserts node with its virtual points. Adding an existing member is
+// a no-op, so rejoin after a spurious failure detection is idempotent.
+func (r *Ring) Add(node NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[node]; ok {
+		return
+	}
+	r.member[node] = struct{}{}
+	add := make([]point, 0, r.cfg.VirtualNodes)
+	for _, h := range pointsFor(node, r.cfg.VirtualNodes, r.cfg.Seed) {
+		add = append(add, point{hash: h, node: node})
+	}
+	sortPoints(add)
+	// Linear merge of two sorted runs: O(P + V) per membership change
+	// instead of re-sorting the whole point set.
+	r.points = mergePoints(r.points, add)
+}
+
+// Remove deletes node and all its virtual points. Removing a non-member
+// is a no-op. This is the operation the HVAC client performs when the
+// failure detector declares a server dead.
+func (r *Ring) Remove(node NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[node]; !ok {
+		return
+	}
+	delete(r.member, node)
+	delete(r.weights, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the node owning key: the owner of the first ring point at
+// or clockwise-after the key's hash (wrapping around). ok is false when
+// the ring has no members.
+func (r *Ring) Owner(key string) (NodeID, bool) {
+	h := r.KeyHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerOfHashLocked(h)
+}
+
+// OwnerOfHash returns the node owning an already-computed ring position.
+func (r *Ring) OwnerOfHash(h uint64) (NodeID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerOfHashLocked(h)
+}
+
+func (r *Ring) ownerOfHashLocked(h uint64) (NodeID, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].node, true
+}
+
+// Owners returns up to n distinct physical nodes encountered walking
+// clockwise from key's position. The first element equals Owner(key).
+// Used for replica placement experiments; ok is false on an empty ring.
+func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
+	h := r.KeyHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil, false
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	seen := make(map[NodeID]struct{}, n)
+	out := make([]NodeID, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out, true
+}
+
+// Nodes returns the physical members in sorted order (stable for tests
+// and deterministic experiment output).
+func (r *Ring) Nodes() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeID, 0, len(r.member))
+	for n := range r.member {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of physical members.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}
+
+// PointCount returns the number of virtual points currently on the ring.
+func (r *Ring) PointCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.points)
+}
+
+// Contains reports whether node is a current member.
+func (r *Ring) Contains(node NodeID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.member[node]
+	return ok
+}
+
+// Clone returns an independent copy of the ring (same config, members and
+// points). Experiments use clones to explore failures without mutating
+// the shared ring.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Ring{
+		cfg:     r.cfg,
+		member:  make(map[NodeID]struct{}, len(r.member)),
+		weights: make(map[NodeID]int, len(r.weights)),
+	}
+	c.points = append([]point(nil), r.points...)
+	for n := range r.member {
+		c.member[n] = struct{}{}
+	}
+	for n, w := range r.weights {
+		c.weights[n] = w
+	}
+	return c
+}
+
+// Config returns the ring's configuration.
+func (r *Ring) Config() Config { return r.cfg }
+
+// RecachePlan describes where the keys previously owned by a failed node
+// land after its removal: the mapping every surviving client computes
+// implicitly when it drops the dead node from its ring.
+type RecachePlan struct {
+	Failed NodeID
+	// Moves maps each new owner to the keys it inherits.
+	Moves map[NodeID][]string
+	// Lost is the total number of keys that changed owner.
+	Lost int
+}
+
+// PlanRecache computes, for the given key population, which keys the
+// failed node owned and who inherits each after removal. The ring itself
+// is not modified. It panics if failed is not a member, because planning
+// recaching for a node that is not on the ring indicates a bookkeeping
+// bug in the caller.
+func (r *Ring) PlanRecache(failed NodeID, keys []string) RecachePlan {
+	if !r.Contains(failed) {
+		panic(fmt.Sprintf("hashring: PlanRecache for non-member %q", failed))
+	}
+	after := r.Clone()
+	after.Remove(failed)
+	plan := RecachePlan{Failed: failed, Moves: make(map[NodeID][]string)}
+	for _, k := range keys {
+		owner, _ := r.Owner(k)
+		if owner != failed {
+			continue
+		}
+		newOwner, ok := after.Owner(k)
+		if !ok {
+			continue // ring became empty; nothing can inherit
+		}
+		plan.Moves[newOwner] = append(plan.Moves[newOwner], k)
+		plan.Lost++
+	}
+	return plan
+}
+
+// Receivers returns the number of distinct nodes that inherit at least
+// one key under the plan — the paper's Fig 6(b) "Receiver Nodes" metric.
+func (p RecachePlan) Receivers() int { return len(p.Moves) }
+
+// FilesPerReceiver returns the per-receiver inherited key counts in
+// unspecified order — the basis of Fig 6(b)'s "Files per Node" metric.
+func (p RecachePlan) FilesPerReceiver() []int {
+	out := make([]int, 0, len(p.Moves))
+	for _, ks := range p.Moves {
+		out = append(out, len(ks))
+	}
+	return out
+}

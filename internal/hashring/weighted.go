@@ -1,0 +1,64 @@
+package hashring
+
+import "math"
+
+// Weighted membership: heterogeneous clusters (e.g. KISTI Neuron's mix
+// of 2.9–3.5 TB NVMe nodes, where the paper also validated FT-Cache)
+// want cache load proportional to device capacity. A node's share of
+// the hash space is proportional to its virtual-point count, so weights
+// map to per-node virtual-node counts scaled by the configured base.
+
+// AddWeighted inserts node with weight × VirtualNodes points (weight 1.0
+// is a standard member). Weights below minWeight are clamped so every
+// node keeps at least one point. Adding an existing member is a no-op.
+func (r *Ring) AddWeighted(node NodeID, weight float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.member[node]; ok {
+		return
+	}
+	v := int(math.Round(weight * float64(r.cfg.VirtualNodes)))
+	if v < 1 {
+		v = 1
+	}
+	r.member[node] = struct{}{}
+	r.weights[node] = v
+	add := make([]point, 0, v)
+	for _, h := range pointsFor(node, v, r.cfg.Seed) {
+		add = append(add, point{hash: h, node: node})
+	}
+	sortPoints(add)
+	r.points = mergePoints(r.points, add)
+}
+
+// Weight returns the effective virtual-point count of node (0 for
+// non-members).
+func (r *Ring) Weight(node NodeID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.member[node]; !ok {
+		return 0
+	}
+	if w, ok := r.weights[node]; ok {
+		return w
+	}
+	return r.cfg.VirtualNodes
+}
+
+// mergePoints merges two sorted point runs in O(len(a)+len(b)).
+func mergePoints(a, b []point) []point {
+	merged := make([]point, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pointLessFn(a[i], b[j]) {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	return merged
+}

@@ -1,0 +1,100 @@
+package hashring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedOwnershipProportional(t *testing.T) {
+	r := New(Config{VirtualNodes: 200, Seed: 4})
+	r.AddWeighted("big", 2.0)   // e.g. 3.5 TB NVMe node
+	r.AddWeighted("small", 1.0) // e.g. 1.75 TB node
+	fr := r.OwnershipFractions()
+	ratio := fr["big"] / fr["small"]
+	if math.Abs(ratio-2.0) > 0.4 {
+		t.Errorf("ownership ratio = %.2f, want ≈ 2.0", ratio)
+	}
+	if r.Weight("big") != 400 || r.Weight("small") != 200 {
+		t.Errorf("weights = %d, %d", r.Weight("big"), r.Weight("small"))
+	}
+	if r.PointCount() != 600 {
+		t.Errorf("points = %d", r.PointCount())
+	}
+}
+
+func TestWeightedKeyAssignment(t *testing.T) {
+	r := New(Config{VirtualNodes: 150, Seed: 9})
+	r.AddWeighted("cap35", 1.0)
+	r.AddWeighted("cap70", 2.0)
+	counts := AssignKeys(r, fileKeys(6000))
+	ratio := float64(counts["cap70"]) / float64(counts["cap35"])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("key ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestWeightedClampAndIdempotence(t *testing.T) {
+	r := New(Config{VirtualNodes: 100})
+	r.AddWeighted("tiny", 0.0001) // clamps to 1 point
+	if r.Weight("tiny") != 1 || r.PointCount() != 1 {
+		t.Errorf("weight=%d points=%d", r.Weight("tiny"), r.PointCount())
+	}
+	r.AddWeighted("tiny", 5.0) // duplicate add: no-op
+	if r.PointCount() != 1 {
+		t.Error("duplicate AddWeighted changed the ring")
+	}
+	if r.Weight("ghost") != 0 {
+		t.Error("non-member weight should be 0")
+	}
+}
+
+func TestWeightedRemoveAndReAdd(t *testing.T) {
+	r := New(Config{VirtualNodes: 100})
+	r.AddWeighted("a", 3.0)
+	r.Add("b") // plain member: default weight
+	if r.Weight("b") != 100 {
+		t.Errorf("plain member weight = %d", r.Weight("b"))
+	}
+	r.Remove("a")
+	if r.Weight("a") != 0 || r.PointCount() != 100 {
+		t.Errorf("after remove: weight=%d points=%d", r.Weight("a"), r.PointCount())
+	}
+	// Re-adding unweighted gives the default count.
+	r.Add("a")
+	if r.Weight("a") != 100 || r.PointCount() != 200 {
+		t.Errorf("after re-add: weight=%d points=%d", r.Weight("a"), r.PointCount())
+	}
+}
+
+func TestWeightedMinimalMovementStillHolds(t *testing.T) {
+	r := New(Config{VirtualNodes: 80, Seed: 2})
+	r.AddWeighted("w1", 1.0)
+	r.AddWeighted("w2", 2.0)
+	r.AddWeighted("w3", 0.5)
+	r.Add("w4")
+	keys := fileKeys(1500)
+	before := make(map[string]NodeID)
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("w2")
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if before[k] != "w2" && after != before[k] {
+			t.Fatalf("weighted removal moved key %q owned by %q", k, before[k])
+		}
+	}
+}
+
+func TestWeightedCloneCopiesWeights(t *testing.T) {
+	r := New(Config{VirtualNodes: 50})
+	r.AddWeighted("x", 2.0)
+	c := r.Clone()
+	if c.Weight("x") != 100 {
+		t.Errorf("clone weight = %d", c.Weight("x"))
+	}
+	c.Remove("x")
+	if r.Weight("x") != 100 {
+		t.Error("clone removal affected original weights")
+	}
+}

@@ -1,0 +1,510 @@
+package hvac
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// DecisionKind says where a read should go.
+type DecisionKind uint8
+
+// Routing decisions.
+const (
+	// RouteNode: ask the HVAC server on Decision.Node.
+	RouteNode DecisionKind = iota
+	// RoutePFS: bypass the cache layer and read the PFS directly.
+	RoutePFS
+	// RouteAbort: the job cannot continue (NoFT semantics — the paper's
+	// baseline terminates on the first node failure).
+	RouteAbort
+)
+
+// Decision is a Router verdict for one path.
+type Decision struct {
+	Kind DecisionKind
+	Node cluster.NodeID
+}
+
+// Router is the pluggable fault-tolerance policy: it maps paths to
+// targets and absorbs failure notifications. Package ftcache provides
+// the paper's three policies (NoFT, PFS redirection, ring recaching).
+// Implementations must be goroutine-safe.
+type Router interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Route decides where to read path from.
+	Route(path string) Decision
+	// NodeFailed informs the policy that node was declared failed.
+	NodeFailed(node cluster.NodeID)
+}
+
+// RecoveryAware is the optional Router extension for elastic scale-up:
+// routers implementing it are told when a previously failed node is
+// revived, so placement can re-admit it (the ring adds it back; the
+// redirection strategy stops bypassing it).
+type RecoveryAware interface {
+	NodeRecovered(node cluster.NodeID)
+}
+
+// Replicator is the optional Router extension enabling the replication
+// feature: Replicas returns up to n distinct live nodes for path, the
+// first being the primary owner. When a client is configured with
+// ReplicationFactor > 1 and its Router implements Replicator, objects
+// fetched from the PFS are pushed to the secondary owners so a primary
+// failure costs no PFS traffic at all.
+type Replicator interface {
+	Replicas(path string, n int) []cluster.NodeID
+}
+
+// Client errors.
+var (
+	// ErrAborted: the router declared the job dead (NoFT after failure).
+	ErrAborted = errors.New("hvac: job aborted - node failed without fault tolerance")
+	// ErrNotFound: the path exists on neither cache nor PFS.
+	ErrNotFound = errors.New("hvac: file not found")
+	// ErrExhausted: retries exhausted without a successful read.
+	ErrExhausted = errors.New("hvac: read attempts exhausted")
+)
+
+// ClientConfig configures an HVAC client instance.
+type ClientConfig struct {
+	// Endpoints maps every server node to its dialable endpoint name.
+	Endpoints map[cluster.NodeID]string
+	// Network supplies Dial (TCP or in-process).
+	Network rpc.Network
+	// Router is the fault-tolerance policy.
+	Router Router
+	// PFS is the directly mounted parallel filesystem, used for RoutePFS.
+	PFS storage.Store
+	// RPCTimeout is the paper's TTL: the per-request deadline after which
+	// a request counts as a timeout. Must exceed the longest expected
+	// service latency (§IV-A).
+	RPCTimeout time.Duration
+	// TimeoutLimit is the consecutive-timeout threshold (TIMEOUT_LIMIT);
+	// <= 0 selects cluster.DefaultTimeoutLimit.
+	TimeoutLimit int
+	// MaxAttempts bounds routing retries per read; <= 0 selects
+	// TimeoutLimit + 8.
+	MaxAttempts int
+	// ReplicationFactor, when > 1 and the Router implements Replicator,
+	// pushes PFS-fetched objects to that many distinct ring owners.
+	ReplicationFactor int
+}
+
+// ClientStats are cumulative per-client counters.
+type ClientStats struct {
+	RemoteReads   int64 // successful RPC reads
+	RemoteBytes   int64
+	ServedNVMe    int64 // remote reads served from the owner's NVMe
+	ServedPFS     int64 // remote reads that fell back to PFS server-side
+	DirectPFS     int64 // client-side PFS reads (redirection strategy)
+	DirectBytes   int64
+	Timeouts      int64 // RPC timeouts observed
+	FailoverReads int64 // reads that needed more than one attempt
+	ReplicaPushes int64 // replica writes issued (replication extension)
+}
+
+// Client is the application-side HVAC library: the stand-in for the
+// LD_PRELOAD shim that intercepts open/read/close in the C++ artifact.
+type Client struct {
+	cfg     ClientConfig
+	tracker *cluster.Tracker
+
+	mu    sync.Mutex
+	conns map[cluster.NodeID]*rpc.Client
+
+	remoteReads   atomic.Int64
+	remoteBytes   atomic.Int64
+	servedNVMe    atomic.Int64
+	servedPFS     atomic.Int64
+	directPFS     atomic.Int64
+	directBytes   atomic.Int64
+	timeouts      atomic.Int64
+	failoverReads atomic.Int64
+	replicaPushes atomic.Int64
+
+	// replSem bounds concurrent async replica pushes.
+	replSem chan struct{}
+	replWG  sync.WaitGroup
+	closed  atomic.Bool
+
+	// latMu guards the streaming latency estimators (P² is not
+	// concurrency-safe; reads are RPC-bound so contention is negligible).
+	latMu   sync.Mutex
+	latency *stats.LatencyTracker
+}
+
+// NewClient wires a client: the failure detector is connected to the
+// router so that a declaration immediately reshapes routing (e.g. the
+// ring strategy removes the node from its hash ring).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Network == nil || cfg.Router == nil {
+		return nil, errors.New("hvac: Network and Router are required")
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 2 * time.Second
+	}
+	nodes := make([]cluster.NodeID, 0, len(cfg.Endpoints))
+	for n := range cfg.Endpoints {
+		nodes = append(nodes, n)
+	}
+	if cfg.MaxAttempts <= 0 {
+		limit := cfg.TimeoutLimit
+		if limit <= 0 {
+			limit = cluster.DefaultTimeoutLimit
+		}
+		cfg.MaxAttempts = limit + 8
+	}
+	if cfg.ReplicationFactor > 1 {
+		if _, ok := cfg.Router.(Replicator); !ok {
+			return nil, errors.New("hvac: ReplicationFactor > 1 requires a Router implementing Replicator")
+		}
+	}
+	c := &Client{
+		cfg:     cfg,
+		tracker: cluster.NewTracker(nodes, cfg.TimeoutLimit),
+		conns:   make(map[cluster.NodeID]*rpc.Client),
+		replSem: make(chan struct{}, 16),
+		latency: stats.NewLatencyTracker(),
+	}
+	c.tracker.OnFailure(cfg.Router.NodeFailed)
+	if ra, ok := cfg.Router.(RecoveryAware); ok {
+		c.tracker.OnRecovery(ra.NodeRecovered)
+	}
+	return c, nil
+}
+
+// ReviveNode re-admits a failed node (elastic scale-up): the failure
+// detector clears its state and, if the router is RecoveryAware, routing
+// resumes sending it traffic. Returns false if the node was not failed.
+func (c *Client) ReviveNode(node cluster.NodeID) bool {
+	// Drop any stale connection so the next request dials fresh (a
+	// rebooted node has new sockets).
+	c.dropConn(node)
+	return c.tracker.Revive(node)
+}
+
+// Tracker exposes the client's failure detector.
+func (c *Client) Tracker() *cluster.Tracker { return c.tracker }
+
+// Latency returns the streaming read-latency summary in milliseconds
+// (count, mean, min/max, p50/p95/p99 via the P² estimator).
+func (c *Client) Latency() stats.LatencySnapshot {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	return c.latency.Snapshot()
+}
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		RemoteReads:   c.remoteReads.Load(),
+		RemoteBytes:   c.remoteBytes.Load(),
+		ServedNVMe:    c.servedNVMe.Load(),
+		ServedPFS:     c.servedPFS.Load(),
+		DirectPFS:     c.directPFS.Load(),
+		DirectBytes:   c.directBytes.Load(),
+		Timeouts:      c.timeouts.Load(),
+		FailoverReads: c.failoverReads.Load(),
+		ReplicaPushes: c.replicaPushes.Load(),
+	}
+}
+
+// conn returns (dialing if necessary) the RPC client for node.
+func (c *Client) conn(node cluster.NodeID) (*rpc.Client, error) {
+	if c.closed.Load() {
+		return nil, rpc.ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cli, ok := c.conns[node]; ok {
+		return cli, nil
+	}
+	ep, ok := c.cfg.Endpoints[node]
+	if !ok {
+		return nil, fmt.Errorf("hvac: no endpoint for node %s", node)
+	}
+	nc, err := c.cfg.Network.Dial(ep)
+	if err != nil {
+		return nil, err
+	}
+	cli := rpc.NewClient(nc)
+	c.conns[node] = cli
+	return cli, nil
+}
+
+func (c *Client) dropConn(node cluster.NodeID) {
+	c.mu.Lock()
+	cli := c.conns[node]
+	delete(c.conns, node)
+	c.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+}
+
+// noteTimeout records failure evidence against node; the tracker invokes
+// Router.NodeFailed when the threshold is crossed.
+func (c *Client) noteTimeout(node cluster.NodeID) {
+	c.timeouts.Add(1)
+	c.tracker.RecordTimeout(node)
+}
+
+// Read returns the full contents of path, applying the configured
+// fault-tolerance policy.
+func (c *Client) Read(ctx context.Context, path string) ([]byte, error) {
+	return c.ReadRange(ctx, path, 0, -1)
+}
+
+// ReadRange returns [offset, offset+length) of path; length < 0 means to
+// EOF.
+func (c *Client) ReadRange(ctx context.Context, path string, offset, length int64) ([]byte, error) {
+	start := time.Now()
+	defer func() {
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		c.latMu.Lock()
+		c.latency.Add(ms)
+		c.latMu.Unlock()
+	}()
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt == 1 {
+			c.failoverReads.Add(1)
+		}
+		d := c.cfg.Router.Route(path)
+		switch d.Kind {
+		case RouteAbort:
+			return nil, ErrAborted
+
+		case RoutePFS:
+			if c.cfg.PFS == nil {
+				return nil, errors.New("hvac: RoutePFS without a PFS handle")
+			}
+			data, err := c.cfg.PFS.Get(path)
+			if err != nil {
+				if errors.Is(err, storage.ErrNotFound) {
+					return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+				}
+				return nil, err
+			}
+			body, ok := slice(data, offset, length)
+			if !ok {
+				return nil, fmt.Errorf("hvac: range out of bounds for %s", path)
+			}
+			c.directPFS.Add(1)
+			c.directBytes.Add(int64(len(body)))
+			return body, nil
+
+		case RouteNode:
+			data, err := c.readFromNode(ctx, d.Node, path, offset, length)
+			if err == nil {
+				return data, nil
+			}
+			if errors.Is(err, ErrNotFound) {
+				return nil, err
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Timeout or connection failure: evidence recorded, re-route.
+			continue
+
+		default:
+			return nil, fmt.Errorf("hvac: unknown routing kind %d", d.Kind)
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrExhausted, path)
+}
+
+// readFromNode performs one RPC read attempt against node.
+func (c *Client) readFromNode(ctx context.Context, node cluster.NodeID, path string, offset, length int64) ([]byte, error) {
+	cli, err := c.conn(node)
+	if err != nil {
+		// Dial failure is failure evidence just like a timeout.
+		c.noteTimeout(node)
+		return nil, err
+	}
+	req := ReadReq{Path: path, Offset: offset, Length: length}
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	payload, status, err := cli.Call(callCtx, OpRead, req.Marshal())
+	cancel()
+	if err != nil {
+		switch {
+		case errors.Is(err, rpc.ErrTimeout):
+			c.noteTimeout(node)
+		case errors.Is(err, rpc.ErrClosed):
+			c.noteTimeout(node)
+			c.dropConn(node)
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		default:
+			c.noteTimeout(node)
+		}
+		return nil, err
+	}
+	c.tracker.RecordSuccess(node)
+	switch status {
+	case rpc.StatusOK:
+	case StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	default:
+		return nil, fmt.Errorf("hvac: server error status %d: %s", status, payload)
+	}
+	var resp ReadResp
+	if err := resp.Unmarshal(payload); err != nil {
+		return nil, err
+	}
+	c.remoteReads.Add(1)
+	c.remoteBytes.Add(int64(len(resp.Data)))
+	if resp.Source == SourceNVMe {
+		c.servedNVMe.Add(1)
+	} else {
+		c.servedPFS.Add(1)
+		// A PFS fallback means this was the object's first touch (or a
+		// post-failure recache) — replicate it to the secondary owners.
+		if c.cfg.ReplicationFactor > 1 && offset == 0 && length < 0 {
+			c.replicateAsync(path, resp.Data)
+		}
+	}
+	return resp.Data, nil
+}
+
+// replicateAsync pushes data to the secondary ring owners of path,
+// bounded by the replication semaphore; failures are best-effort (a
+// missed replica costs one PFS read later, never correctness).
+func (c *Client) replicateAsync(path string, data []byte) {
+	repl, ok := c.cfg.Router.(Replicator)
+	if !ok {
+		return
+	}
+	owners := repl.Replicas(path, c.cfg.ReplicationFactor)
+	if len(owners) <= 1 {
+		return
+	}
+	// Copy once: data aliases the RPC response buffer.
+	body := append([]byte(nil), data...)
+	for _, node := range owners[1:] {
+		node := node
+		c.replWG.Add(1)
+		c.replSem <- struct{}{}
+		go func() {
+			defer c.replWG.Done()
+			defer func() { <-c.replSem }()
+			if err := c.Push(context.Background(), node, path, body); err == nil {
+				c.replicaPushes.Add(1)
+			}
+		}()
+	}
+}
+
+// Push writes an object into a specific node's cache (replica write).
+func (c *Client) Push(ctx context.Context, node cluster.NodeID, path string, data []byte) error {
+	cli, err := c.conn(node)
+	if err != nil {
+		return err
+	}
+	req := PutReq{Path: path, Data: data}
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	_, status, err := cli.Call(callCtx, OpPut, req.Marshal())
+	if err != nil {
+		return err
+	}
+	if status != rpc.StatusOK {
+		return fmt.Errorf("hvac: put status %d", status)
+	}
+	return nil
+}
+
+// WaitReplication blocks until all in-flight replica pushes finish —
+// used by tests and epoch boundaries that need determinism.
+func (c *Client) WaitReplication() { c.replWG.Wait() }
+
+// Stat returns size and cache residency of path from its current owner.
+func (c *Client) Stat(ctx context.Context, path string) (StatResp, error) {
+	d := c.cfg.Router.Route(path)
+	if d.Kind != RouteNode {
+		return StatResp{}, fmt.Errorf("hvac: stat unavailable (route kind %d)", d.Kind)
+	}
+	cli, err := c.conn(d.Node)
+	if err != nil {
+		return StatResp{}, err
+	}
+	req := StatReq{Path: path}
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	payload, status, err := cli.Call(callCtx, OpStat, req.Marshal())
+	if err != nil {
+		return StatResp{}, err
+	}
+	if status == StatusNotFound {
+		return StatResp{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if status != rpc.StatusOK {
+		return StatResp{}, fmt.Errorf("hvac: stat status %d", status)
+	}
+	var resp StatResp
+	if err := resp.Unmarshal(payload); err != nil {
+		return StatResp{}, err
+	}
+	return resp, nil
+}
+
+// ServerStats fetches the counters of a specific server.
+func (c *Client) ServerStats(ctx context.Context, node cluster.NodeID) (StatsResp, error) {
+	cli, err := c.conn(node)
+	if err != nil {
+		return StatsResp{}, err
+	}
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	payload, status, err := cli.Call(callCtx, OpStats, nil)
+	if err != nil || status != rpc.StatusOK {
+		return StatsResp{}, fmt.Errorf("hvac: stats from %s: status=%d err=%v", node, status, err)
+	}
+	var resp StatsResp
+	if err := resp.Unmarshal(payload); err != nil {
+		return StatsResp{}, err
+	}
+	return resp, nil
+}
+
+// Ping checks liveness of a node without touching the failure detector.
+func (c *Client) Ping(ctx context.Context, node cluster.NodeID) error {
+	cli, err := c.conn(node)
+	if err != nil {
+		return err
+	}
+	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	defer cancel()
+	_, status, err := cli.Call(callCtx, OpPing, nil)
+	if err != nil {
+		return err
+	}
+	if status != rpc.StatusOK {
+		return fmt.Errorf("hvac: ping status %d", status)
+	}
+	return nil
+}
+
+// Close tears down all connections, then waits for in-flight replica
+// pushes (which fail fast once their connections drop).
+func (c *Client) Close() {
+	c.closed.Store(true)
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = make(map[cluster.NodeID]*rpc.Client)
+	c.mu.Unlock()
+	for _, cli := range conns {
+		cli.Close()
+	}
+	c.replWG.Wait()
+}

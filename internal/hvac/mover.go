@@ -1,0 +1,123 @@
+package hvac
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Mover is the HVAC server's background data-mover thread (§II-B): after
+// a PFS fallback the served object is queued here and copied onto the
+// node-local NVMe off the request path, so the client never waits on the
+// cache write.
+//
+// The queue is bounded; under overload new work is dropped (counted),
+// never blocking a read — a dropped recache only costs one more PFS trip
+// on a later epoch.
+type Mover struct {
+	nvme *storage.NVMe
+	ch   chan moveJob
+	wg   sync.WaitGroup
+
+	enqueued atomic.Int64
+	dropped  atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	idle   *sync.Cond
+	inQ    int // jobs enqueued but not yet stored
+}
+
+type moveJob struct {
+	path string
+	data []byte
+}
+
+// NewMover starts a mover with the given queue depth and worker count.
+// Non-positive arguments select 256 and 1.
+func NewMover(nvme *storage.NVMe, queueDepth, workers int) *Mover {
+	if queueDepth <= 0 {
+		queueDepth = 256
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	m := &Mover{nvme: nvme, ch: make(chan moveJob, queueDepth)}
+	m.idle = sync.NewCond(&m.mu)
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.run()
+	}
+	return m
+}
+
+func (m *Mover) run() {
+	defer m.wg.Done()
+	for job := range m.ch {
+		_ = m.nvme.Put(job.path, job.data) // ErrTooLarge: object can never cache
+		m.mu.Lock()
+		m.inQ--
+		if m.inQ == 0 {
+			m.idle.Broadcast()
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Enqueue schedules an async cache fill; returns false when the job was
+// dropped (queue full or mover closed).
+func (m *Mover) Enqueue(path string, data []byte) bool {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.dropped.Add(1)
+		return false
+	}
+	select {
+	case m.ch <- moveJob{path: path, data: data}:
+		m.inQ++
+		m.enqueued.Add(1)
+		m.mu.Unlock()
+		return true
+	default:
+		m.mu.Unlock()
+		m.dropped.Add(1)
+		return false
+	}
+}
+
+// Flush blocks until every enqueued job has been stored. Tests use it to
+// make async caching deterministic.
+func (m *Mover) Flush() {
+	m.mu.Lock()
+	for m.inQ > 0 {
+		m.idle.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// Close drains outstanding jobs and stops the workers. Enqueue after
+// Close reports a drop.
+func (m *Mover) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.ch)
+	m.wg.Wait()
+	m.mu.Lock()
+	// Jobs may have been consumed between the last decrement and channel
+	// close; by now every queued job has been stored.
+	m.inQ = 0
+	m.idle.Broadcast()
+	m.mu.Unlock()
+}
+
+// Counters returns the cumulative enqueue and drop counts.
+func (m *Mover) Counters() (enqueued, dropped int64) {
+	return m.enqueued.Load(), m.dropped.Load()
+}

@@ -1,0 +1,90 @@
+package hvac
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestMoverStoresAsync(t *testing.T) {
+	nvme := storage.NewNVMe(0)
+	m := NewMover(nvme, 16, 2)
+	defer m.Close()
+	for i := 0; i < 10; i++ {
+		if !m.Enqueue(fmt.Sprintf("f%d", i), []byte{byte(i)}) {
+			t.Fatalf("enqueue %d dropped", i)
+		}
+	}
+	m.Flush()
+	for i := 0; i < 10; i++ {
+		if !nvme.Has(fmt.Sprintf("f%d", i)) {
+			t.Errorf("f%d not cached after flush", i)
+		}
+	}
+	enq, drop := m.Counters()
+	if enq != 10 || drop != 0 {
+		t.Errorf("counters: enq=%d drop=%d", enq, drop)
+	}
+}
+
+func TestMoverDropsWhenSaturated(t *testing.T) {
+	nvme := storage.NewNVMe(0)
+	m := NewMover(nvme, 1, 1)
+	// Block the single worker by filling the queue faster than a tiny
+	// queue drains; with depth 1 at least some of a burst must drop.
+	dropped := false
+	for i := 0; i < 1000; i++ {
+		if !m.Enqueue(fmt.Sprintf("f%d", i), make([]byte, 8)) {
+			dropped = true
+		}
+	}
+	m.Close()
+	_, drops := m.Counters()
+	if dropped != (drops > 0) {
+		t.Errorf("inconsistent drop reporting: saw=%v counter=%d", dropped, drops)
+	}
+}
+
+func TestMoverCloseIdempotentAndRejects(t *testing.T) {
+	m := NewMover(storage.NewNVMe(0), 4, 1)
+	m.Close()
+	m.Close() // must not panic
+	if m.Enqueue("x", []byte("y")) {
+		t.Error("enqueue after close should report drop")
+	}
+	_, drops := m.Counters()
+	if drops != 1 {
+		t.Errorf("drops = %d, want 1", drops)
+	}
+}
+
+func TestMoverFlushOnEmptyQueue(t *testing.T) {
+	m := NewMover(storage.NewNVMe(0), 4, 1)
+	defer m.Close()
+	m.Flush() // must not block
+}
+
+func TestMoverConcurrentEnqueue(t *testing.T) {
+	nvme := storage.NewNVMe(0)
+	m := NewMover(nvme, 1024, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Enqueue(fmt.Sprintf("g%d-f%d", g, i), []byte("d"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.Flush()
+	objs, _ := nvme.Stats()
+	enq, drop := m.Counters()
+	if int64(objs) != enq-drop && drop == 0 && objs != 800 {
+		t.Errorf("objs=%d enq=%d drop=%d", objs, enq, drop)
+	}
+	m.Close()
+}

@@ -1,0 +1,205 @@
+// Package hvac implements the distributed node-local cache the paper
+// extends: an HVAC-style client/server pair (§II-B).
+//
+// Every compute node runs a Server daemon owning that node's NVMe cache.
+// The Client library sits inside the training process (standing in for
+// the LD_PRELOAD interception layer), hashes each file path to an owner
+// node, and issues an RPC read. The owner serves from NVMe on a hit; on
+// a miss it reads the PFS, serves the data, and hands the object to a
+// background data mover that caches it on NVMe for subsequent epochs.
+//
+// Fault-tolerance policy (what happens when the owner does not answer)
+// is pluggable — see package ftcache for the three strategies under test.
+package hvac
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// RPC opcodes.
+const (
+	// OpPing checks liveness.
+	OpPing uint16 = iota + 1
+	// OpRead reads [offset, offset+length) of a file; length < 0 means
+	// the whole file.
+	OpRead
+	// OpStat returns file size and cache residency.
+	OpStat
+	// OpStats returns server counters.
+	OpStats
+	// OpInvalidate drops a path from the server's NVMe cache.
+	OpInvalidate
+	// OpPut pushes an object into the server's NVMe cache — the replica
+	// write used by the replication extension (see ftcache.RingReplicated).
+	OpPut
+)
+
+// Application statuses (beyond rpc.StatusOK).
+const (
+	// StatusNotFound: the path exists on neither NVMe nor PFS.
+	StatusNotFound uint16 = 1
+	// StatusError: an internal server failure.
+	StatusError uint16 = 2
+)
+
+// Data sources reported in read responses.
+const (
+	// SourceNVMe: served from the node-local cache.
+	SourceNVMe uint8 = 1
+	// SourcePFS: cache miss, served from the parallel file system.
+	SourcePFS uint8 = 2
+)
+
+// ErrDecode reports a malformed payload.
+var ErrDecode = errors.New("hvac: malformed message")
+
+// ReadReq asks for a byte range of a file.
+type ReadReq struct {
+	Path   string
+	Offset int64
+	Length int64 // < 0 → to EOF
+}
+
+// Marshal encodes the request.
+func (r *ReadReq) Marshal() []byte {
+	return wire.NewBuffer(len(r.Path) + 24).
+		String(r.Path).I64(r.Offset).I64(r.Length).Bytes()
+}
+
+// Unmarshal decodes the request.
+func (r *ReadReq) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.Path = d.String()
+	r.Offset = d.I64()
+	r.Length = d.I64()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// ReadResp carries file data and its serving tier.
+type ReadResp struct {
+	Source uint8
+	// FileSize is the full size of the file (callers may have asked for
+	// a sub-range).
+	FileSize int64
+	Data     []byte
+}
+
+// Marshal encodes the response.
+func (r *ReadResp) Marshal() []byte {
+	return wire.NewBuffer(len(r.Data) + 16).
+		U8(r.Source).I64(r.FileSize).Bytes32(r.Data).Bytes()
+}
+
+// Unmarshal decodes the response. Data aliases b.
+func (r *ReadResp) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.Source = d.U8()
+	r.FileSize = d.I64()
+	r.Data = d.Bytes32()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// StatReq asks for metadata of a path.
+type StatReq struct{ Path string }
+
+// Marshal encodes the request.
+func (r *StatReq) Marshal() []byte {
+	return wire.NewBuffer(len(r.Path) + 4).String(r.Path).Bytes()
+}
+
+// Unmarshal decodes the request.
+func (r *StatReq) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.Path = d.String()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// StatResp reports size and cache residency.
+type StatResp struct {
+	Size   int64
+	Cached bool
+}
+
+// Marshal encodes the response.
+func (r *StatResp) Marshal() []byte {
+	return wire.NewBuffer(9).I64(r.Size).Bool(r.Cached).Bytes()
+}
+
+// Unmarshal decodes the response.
+func (r *StatResp) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.Size = d.I64()
+	r.Cached = d.Bool()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// PutReq pushes data into a server's cache (replica write).
+type PutReq struct {
+	Path string
+	Data []byte
+}
+
+// Marshal encodes the request.
+func (r *PutReq) Marshal() []byte {
+	return wire.NewBuffer(len(r.Path) + len(r.Data) + 8).
+		String(r.Path).Bytes32(r.Data).Bytes()
+}
+
+// Unmarshal decodes the request. Data aliases b.
+func (r *PutReq) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.Path = d.String()
+	r.Data = d.Bytes32()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// StatsResp reports server-side counters for observability and tests.
+type StatsResp struct {
+	NVMeObjects   int64
+	NVMeBytes     int64
+	NVMeHits      int64
+	NVMeMisses    int64
+	PFSFallbacks  int64 // reads served from PFS by this server
+	MoverEnqueued int64
+	MoverDropped  int64
+}
+
+// Marshal encodes the response.
+func (r *StatsResp) Marshal() []byte {
+	return wire.NewBuffer(56).
+		I64(r.NVMeObjects).I64(r.NVMeBytes).I64(r.NVMeHits).I64(r.NVMeMisses).
+		I64(r.PFSFallbacks).I64(r.MoverEnqueued).I64(r.MoverDropped).Bytes()
+}
+
+// Unmarshal decodes the response.
+func (r *StatsResp) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	r.NVMeObjects = d.I64()
+	r.NVMeBytes = d.I64()
+	r.NVMeHits = d.I64()
+	r.NVMeMisses = d.I64()
+	r.PFSFallbacks = d.I64()
+	r.MoverEnqueued = d.I64()
+	r.MoverDropped = d.I64()
+	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package hvac
+
+import (
+	"net"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// ServerConfig configures one HVAC server daemon.
+type ServerConfig struct {
+	// Node is this server's cluster identity.
+	Node cluster.NodeID
+	// NVMeCapacity bounds the node-local cache (0 = unbounded).
+	NVMeCapacity int64
+	// MoverQueueDepth and MoverWorkers size the background data mover.
+	MoverQueueDepth int
+	MoverWorkers    int
+}
+
+// Server is one node's HVAC daemon: it owns the node-local NVMe cache
+// and falls back to the shared PFS on miss.
+type Server struct {
+	cfg   ServerConfig
+	nvme  *storage.NVMe
+	pfs   storage.Store
+	mover *Mover
+	rpc   *rpc.Server
+
+	pfsFallbacks atomic.Int64
+}
+
+// NewServer creates a server over the shared pfs. The PFS handle stands
+// in for the mounted Lustre filesystem every Frontier node sees.
+func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
+	s := &Server{
+		cfg:  cfg,
+		nvme: storage.NewNVMe(cfg.NVMeCapacity),
+		pfs:  pfs,
+	}
+	s.mover = NewMover(s.nvme, cfg.MoverQueueDepth, cfg.MoverWorkers)
+	s.rpc = rpc.NewServer(rpc.HandlerFunc(s.handle))
+	return s
+}
+
+// Node returns the server's cluster identity.
+func (s *Server) Node() cluster.NodeID { return s.cfg.Node }
+
+// NVMe exposes the cache store (tests and experiments preload it).
+func (s *Server) NVMe() *storage.NVMe { return s.nvme }
+
+// Mover exposes the data mover (tests flush it for determinism).
+func (s *Server) Mover() *Mover { return s.mover }
+
+// Serve runs the RPC loop on lis until Close.
+func (s *Server) Serve(lis net.Listener) error { return s.rpc.Serve(lis) }
+
+// SetUnresponsive toggles the fault-injection mode in which the server
+// reads requests but never answers (see rpc.Server.SetUnresponsive).
+func (s *Server) SetUnresponsive(v bool) { s.rpc.SetUnresponsive(v) }
+
+// Unresponsive reports whether fault-injection mode is active.
+func (s *Server) Unresponsive() bool { return s.rpc.Unresponsive() }
+
+// Close stops the RPC server and drains the mover.
+func (s *Server) Close() {
+	s.rpc.Close()
+	s.mover.Close()
+}
+
+func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
+	switch op {
+	case OpPing:
+		return rpc.StatusOK, nil
+	case OpRead:
+		return s.handleRead(payload)
+	case OpStat:
+		return s.handleStat(payload)
+	case OpStats:
+		return s.handleStats()
+	case OpInvalidate:
+		return s.handleInvalidate(payload)
+	case OpPut:
+		return s.handlePut(payload)
+	default:
+		return StatusError, []byte("unknown opcode")
+	}
+}
+
+// handlePut accepts a replica write: the pusher already holds the bytes,
+// so the copy goes straight to NVMe (synchronously — the caller made it
+// async on its side and wants a durable acknowledgement).
+func (s *Server) handlePut(payload []byte) (uint16, []byte) {
+	var req PutReq
+	if err := req.Unmarshal(payload); err != nil {
+		return StatusError, []byte(err.Error())
+	}
+	// The payload aliases the RPC buffer; copy before retaining.
+	data := append([]byte(nil), req.Data...)
+	if err := s.nvme.Put(req.Path, data); err != nil {
+		return StatusError, []byte(err.Error())
+	}
+	return rpc.StatusOK, nil
+}
+
+// handleRead is the paper's server read path: NVMe hit → serve; miss →
+// read PFS, serve, and enqueue an async cache fill.
+func (s *Server) handleRead(payload []byte) (uint16, []byte) {
+	var req ReadReq
+	if err := req.Unmarshal(payload); err != nil {
+		return StatusError, []byte(err.Error())
+	}
+	source := SourceNVMe
+	data, err := s.nvme.Get(req.Path)
+	if err != nil {
+		data, err = s.pfs.Get(req.Path)
+		if err != nil {
+			return StatusNotFound, []byte(req.Path)
+		}
+		source = SourcePFS
+		s.pfsFallbacks.Add(1)
+		s.mover.Enqueue(req.Path, data)
+	}
+	body, ok := slice(data, req.Offset, req.Length)
+	if !ok {
+		return StatusError, []byte("range out of bounds")
+	}
+	resp := ReadResp{Source: source, FileSize: int64(len(data)), Data: body}
+	return rpc.StatusOK, resp.Marshal()
+}
+
+// slice extracts [off, off+length) of data; length < 0 means to EOF.
+func slice(data []byte, off, length int64) ([]byte, bool) {
+	if off < 0 || off > int64(len(data)) {
+		return nil, false
+	}
+	if length < 0 {
+		return data[off:], true
+	}
+	end := off + length
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[off:end], true
+}
+
+func (s *Server) handleStat(payload []byte) (uint16, []byte) {
+	var req StatReq
+	if err := req.Unmarshal(payload); err != nil {
+		return StatusError, []byte(err.Error())
+	}
+	if data, err := s.nvme.Get(req.Path); err == nil {
+		resp := StatResp{Size: int64(len(data)), Cached: true}
+		return rpc.StatusOK, resp.Marshal()
+	}
+	if data, err := s.pfs.Get(req.Path); err == nil {
+		resp := StatResp{Size: int64(len(data)), Cached: false}
+		return rpc.StatusOK, resp.Marshal()
+	}
+	return StatusNotFound, []byte(req.Path)
+}
+
+func (s *Server) handleStats() (uint16, []byte) {
+	objs, bytes := s.nvme.Stats()
+	hits, misses, _ := s.nvme.Counters()
+	enq, drop := s.mover.Counters()
+	resp := StatsResp{
+		NVMeObjects:   int64(objs),
+		NVMeBytes:     bytes,
+		NVMeHits:      hits,
+		NVMeMisses:    misses,
+		PFSFallbacks:  s.pfsFallbacks.Load(),
+		MoverEnqueued: enq,
+		MoverDropped:  drop,
+	}
+	return rpc.StatusOK, resp.Marshal()
+}
+
+func (s *Server) handleInvalidate(payload []byte) (uint16, []byte) {
+	var req StatReq
+	if err := req.Unmarshal(payload); err != nil {
+		return StatusError, []byte(err.Error())
+	}
+	s.nvme.Delete(req.Path)
+	return rpc.StatusOK, nil
+}

@@ -1,0 +1,229 @@
+// Package loadsim is the Monte-Carlo load-redistribution study behind the
+// paper's Fig 6(b): on a 1024-physical-node hash ring, fail one random
+// node and measure (a) how many surviving nodes receive its files and
+// (b) how many files each receiver absorbs, as the virtual-node count
+// sweeps from 10 to 1000 per physical node. 500 trials per setting; the
+// plotted values are means, the error bars standard deviations.
+//
+// The simulation runs against the real hashring package — the same code
+// the live cache uses — so the figure measures the actual system, not an
+// abstraction of it. This mirrors the artifact's
+// load_distribution_simul.cpp.
+package loadsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/hashring"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one sweep point.
+type Config struct {
+	// PhysicalNodes on the ring (paper: 1024).
+	PhysicalNodes int
+	// VirtualNodes per physical node (the sweep variable).
+	VirtualNodes int
+	// Files is the cached-key population (paper: the CosmoFlow training
+	// set, 524,288 files).
+	Files int
+	// Trials is the Monte-Carlo repetition count (paper: 500).
+	Trials int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// Workers bounds trial parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+	// SimultaneousFailures is how many distinct nodes fail at once per
+	// trial; <= 0 selects 1 (the paper's single-failure protocol).
+	// Correlated multi-node failures (a rack or switch dying) are the
+	// obvious extension scenario.
+	SimultaneousFailures int
+}
+
+// Point is the aggregated outcome for one virtual-node setting.
+type Point struct {
+	VirtualNodes int
+	// ReceiverNodes: how many distinct survivors inherited at least one
+	// file (mean ± stddev across trials) — Fig 6(b) left axis.
+	ReceiverMean   float64
+	ReceiverStdDev float64
+	// FilesPerReceiver: files landing on each receiver (mean of
+	// per-trial means ± pooled stddev of per-receiver counts) —
+	// Fig 6(b) right axis.
+	FilesPerNodeMean   float64
+	FilesPerNodeStdDev float64
+	// LostMean is the average number of files the failed node held.
+	LostMean float64
+	// Trials actually executed.
+	Trials int
+}
+
+// trialOut carries one trial's raw observations.
+type trialOut struct {
+	receivers int
+	lost      int
+	perNode   []int
+}
+
+// Run executes the Monte-Carlo sweep point.
+//
+// Building a fresh 1024-node ring per trial would dominate runtime, so
+// each trial reuses a shared immutable base ring: the failed node's key
+// reassignment is computed with PlanRecache on a clone, exactly what a
+// live client does when the detector fires.
+func Run(cfg Config) Point {
+	if cfg.PhysicalNodes < 2 || cfg.Trials < 1 || cfg.Files < 1 {
+		panic("loadsim: PhysicalNodes>=2, Trials>=1, Files>=1 required")
+	}
+	failures := cfg.SimultaneousFailures
+	if failures <= 0 {
+		failures = 1
+	}
+	if failures >= cfg.PhysicalNodes {
+		panic("loadsim: SimultaneousFailures must leave survivors")
+	}
+	nodes := make([]hashring.NodeID, cfg.PhysicalNodes)
+	for i := range nodes {
+		nodes[i] = hashring.NodeID(fmt.Sprintf("node-%04d", i))
+	}
+	base := hashring.NewWithNodes(hashring.Config{VirtualNodes: cfg.VirtualNodes}, nodes)
+
+	keys := make([]string, cfg.Files)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cosmoUniverse/train/univ_%07d.tfrecord", i)
+	}
+	// Precompute each key's owner once: per trial we only need the keys
+	// owned by the failed node.
+	byOwner := make(map[hashring.NodeID][]string, cfg.PhysicalNodes)
+	for _, k := range keys {
+		o, _ := base.Owner(k)
+		byOwner[o] = append(byOwner[o], k)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	outs := make([]trialOut, cfg.Trials)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := w; t < cfg.Trials; t += workers {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+				victims := pickDistinct(rng, len(nodes), failures)
+				after := base.Clone()
+				var lostKeys []string
+				for _, vi := range victims {
+					lostKeys = append(lostKeys, byOwner[nodes[vi]]...)
+					after.Remove(nodes[vi])
+				}
+				counts := make(map[hashring.NodeID]int)
+				for _, k := range lostKeys {
+					newOwner, ok := after.Owner(k)
+					if !ok {
+						continue
+					}
+					counts[newOwner]++
+				}
+				per := make([]int, 0, len(counts))
+				for _, c := range counts {
+					per = append(per, c)
+				}
+				// Map iteration order is random; sort so the float
+				// accumulation below is bit-for-bit reproducible.
+				sort.Ints(per)
+				outs[t] = trialOut{receivers: len(counts), lost: len(lostKeys), perNode: per}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var recv, lost stats.Running
+	var perAll stats.Running
+	var perMeans stats.Running
+	for _, o := range outs {
+		recv.Add(float64(o.receivers))
+		lost.Add(float64(o.lost))
+		var m stats.Running
+		for _, c := range o.perNode {
+			perAll.Add(float64(c))
+			m.Add(float64(c))
+		}
+		if m.N() > 0 {
+			perMeans.Add(m.Mean())
+		}
+	}
+	return Point{
+		VirtualNodes:       cfg.VirtualNodes,
+		ReceiverMean:       recv.Mean(),
+		ReceiverStdDev:     recv.StdDev(),
+		FilesPerNodeMean:   perMeans.Mean(),
+		FilesPerNodeStdDev: perAll.StdDev(),
+		LostMean:           lost.Mean(),
+		Trials:             cfg.Trials,
+	}
+}
+
+// pickDistinct draws k distinct indices from [0, n).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ExpectedReceivers is the closed-form approximation of Fig 6(b)'s
+// receiver count, used to cross-validate the Monte-Carlo:
+//
+//	lost files  L ≈ files / nodes fall into the victim's V arcs
+//	non-empty arcs  A = V·(1−(1−1/V)^L)           (balls into V bins)
+//	receivers       R = (N−1)·(1−(1−1/(N−1))^A)   (arcs onto survivors)
+//
+// Both stages are standard occupancy expectations; the composition
+// explains the paper's plateau: once V ≫ L, A saturates at ≈ L and more
+// virtual nodes cannot create more receivers than there are lost files.
+func ExpectedReceivers(physicalNodes, virtualNodes, files int) float64 {
+	if physicalNodes < 2 || virtualNodes < 1 || files < 1 {
+		return 0
+	}
+	l := float64(files) / float64(physicalNodes)
+	v := float64(virtualNodes)
+	n := float64(physicalNodes - 1)
+	arcs := v * (1 - math.Pow(1-1/v, l))
+	return n * (1 - math.Pow(1-1/n, arcs))
+}
+
+// PaperSweep is the published Fig 6(b) x-axis.
+var PaperSweep = []int{10, 50, 100, 500, 1000}
+
+// Sweep runs Run for each virtual-node setting.
+func Sweep(physicalNodes, files, trials int, seed int64, vnodeSettings []int) []Point {
+	out := make([]Point, 0, len(vnodeSettings))
+	for _, v := range vnodeSettings {
+		out = append(out, Run(Config{
+			PhysicalNodes: physicalNodes,
+			VirtualNodes:  v,
+			Files:         files,
+			Trials:        trials,
+			Seed:          seed,
+		}))
+	}
+	return out
+}

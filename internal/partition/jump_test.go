@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"testing"
+)
+
+func TestJumpHashReference(t *testing.T) {
+	// Structural properties of the algorithm itself.
+	for _, buckets := range []int{1, 2, 10, 1000} {
+		for key := uint64(0); key < 200; key++ {
+			b := jumpHash(key, buckets)
+			if b < 0 || b >= buckets {
+				t.Fatalf("jumpHash(%d,%d) = %d out of range", key, buckets, b)
+			}
+		}
+	}
+	// Single bucket: everything maps to 0.
+	for key := uint64(0); key < 50; key++ {
+		if jumpHash(key, 1) != 0 {
+			t.Fatal("single bucket must absorb all keys")
+		}
+	}
+}
+
+func TestJumpHashMinimalMovementOnGrowth(t *testing.T) {
+	// The defining jump-hash property: growing n → n+1 moves ≈ 1/(n+1)
+	// of keys, and keys only move TO the new bucket.
+	const n, keys = 16, 20000
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		before := jumpHash(k, n)
+		after := jumpHash(k, n+1)
+		if before != after {
+			moved++
+			if after != n {
+				t.Fatalf("key %d moved to old bucket %d", k, after)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	want := 1.0 / float64(n+1)
+	if frac < want*0.7 || frac > want*1.3 {
+		t.Errorf("moved fraction = %.4f, want ≈ %.4f", frac, want)
+	}
+}
+
+func TestJumpPartitionerBasics(t *testing.T) {
+	p := NewJump(nodes(8))
+	ks := keys(500)
+	live := map[NodeID]bool{}
+	for _, n := range p.Live() {
+		live[n] = true
+	}
+	for _, k := range ks {
+		o, ok := p.Owner(k)
+		if !ok || !live[o] {
+			t.Fatalf("owner(%q) = %q, %v", k, o, ok)
+		}
+	}
+	p.Fail(p.Live()[3])
+	if len(p.Live()) != 7 {
+		t.Fatalf("live = %d", len(p.Live()))
+	}
+	for _, k := range ks {
+		if o, ok := p.Owner(k); !ok || o == "" {
+			t.Fatalf("post-failure owner(%q) = %q", k, o)
+		}
+	}
+	// Drain to zero.
+	for len(p.Live()) > 0 {
+		p.Fail(p.Live()[0])
+	}
+	if _, ok := p.Owner("k"); ok {
+		t.Error("empty partitioner should report no owner")
+	}
+}
+
+// TestJumpArbitraryRemovalMovesManyKeys documents why FT-Cache uses a
+// ring instead of jump hash: failing a middle node renumbers buckets and
+// relocates keys that were on healthy nodes.
+func TestJumpArbitraryRemovalMovesManyKeys(t *testing.T) {
+	p := NewJump(nodes(16))
+	ks := keys(4000)
+	rep := MeasureFailure(p, ks, p.Live()[2]) // early-index victim
+	if rep.Collateral == 0 {
+		t.Error("jump hash should show collateral movement on middle-node failure")
+	}
+	// Ring comparison: zero collateral by construction.
+	ring := NewRing(nodes(16), 100)
+	rrep := MeasureFailure(ring, ks, ring.Live()[2])
+	if rrep.Collateral != 0 {
+		t.Errorf("ring collateral = %d", rrep.Collateral)
+	}
+	if rep.Moved() <= rrep.Moved() {
+		t.Errorf("jump should move more keys than ring: %d vs %d", rep.Moved(), rrep.Moved())
+	}
+}

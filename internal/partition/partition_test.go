@@ -1,0 +1,329 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func nodes(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(fmt.Sprintf("node-%04d", i))
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cosmoUniverse/train/univ_%06d.tfrecord", i)
+	}
+	return out
+}
+
+func strategies(n int) []Partitioner {
+	ns := nodes(n)
+	return []Partitioner{
+		NewModulo(ns),
+		NewMultiHash(ns),
+		NewRange(ns, false),
+		NewRange(ns, true),
+		NewRing(ns, 100),
+	}
+}
+
+func TestAllStrategiesMapEveryKeyToLiveNode(t *testing.T) {
+	ks := keys(500)
+	for _, p := range strategies(16) {
+		live := map[NodeID]bool{}
+		for _, n := range p.Live() {
+			live[n] = true
+		}
+		for _, k := range ks {
+			owner, ok := p.Owner(k)
+			if !ok {
+				t.Fatalf("%s: no owner for %q", p.Name(), k)
+			}
+			if !live[owner] {
+				t.Fatalf("%s: owner %q of %q is not live", p.Name(), owner, k)
+			}
+		}
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	ks := keys(100)
+	for _, p := range strategies(8) {
+		for _, k := range ks {
+			a, _ := p.Owner(k)
+			b, _ := p.Owner(k)
+			if a != b {
+				t.Fatalf("%s: nondeterministic owner for %q", p.Name(), k)
+			}
+		}
+	}
+}
+
+func TestFailureKeepsMappingToSurvivors(t *testing.T) {
+	ks := keys(500)
+	for _, p := range strategies(16) {
+		victim := p.Live()[4]
+		p.Fail(victim)
+		if len(p.Live()) != 15 {
+			t.Fatalf("%s: live=%d after one failure", p.Name(), len(p.Live()))
+		}
+		for _, k := range ks {
+			owner, ok := p.Owner(k)
+			if !ok || owner == victim {
+				t.Fatalf("%s: key %q -> (%q,%v) after failing %q", p.Name(), k, owner, ok, victim)
+			}
+		}
+	}
+}
+
+func TestRepeatedFailuresDownToOne(t *testing.T) {
+	ks := keys(200)
+	for _, p := range strategies(8) {
+		for len(p.Live()) > 1 {
+			p.Fail(p.Live()[0])
+		}
+		last := p.Live()[0]
+		for _, k := range ks {
+			owner, ok := p.Owner(k)
+			if !ok || owner != last {
+				t.Fatalf("%s: with one survivor %q, key %q -> (%q,%v)", p.Name(), last, k, owner, ok)
+			}
+		}
+		p.Fail(last)
+		if _, ok := p.Owner(ks[0]); ok {
+			t.Fatalf("%s: owner reported with zero live nodes", p.Name())
+		}
+	}
+}
+
+func TestFailUnknownNodeIsNoop(t *testing.T) {
+	ks := keys(100)
+	for _, p := range strategies(6) {
+		before := map[string]NodeID{}
+		for _, k := range ks {
+			before[k], _ = p.Owner(k)
+		}
+		p.Fail("ghost")
+		if len(p.Live()) != 6 {
+			t.Fatalf("%s: live count changed on ghost failure", p.Name())
+		}
+		for _, k := range ks {
+			if o, _ := p.Owner(k); o != before[k] {
+				t.Fatalf("%s: ghost failure moved key %q", p.Name(), k)
+			}
+		}
+	}
+}
+
+// TestMovementComparison is the quantitative version of §IV-B: the ring
+// and the absorb-mode range partitioner move only the failed node's keys;
+// modulo and rebalance-mode range relocate large fractions of data cached
+// on healthy nodes.
+func TestMovementComparison(t *testing.T) {
+	const n = 32
+	ks := keys(4000)
+	perStrategy := map[string]MovementReport{}
+	for _, p := range strategies(n) {
+		victim := p.Live()[n/2]
+		perStrategy[p.Name()] = MeasureFailure(p, ks, victim)
+	}
+
+	for _, name := range []string{"hashring", "range-absorb", "multihash"} {
+		if c := perStrategy[name].Collateral; c != 0 {
+			t.Errorf("%s: expected zero collateral movement, got %d", name, c)
+		}
+	}
+	if c := perStrategy["modulo"].Collateral; c < len(ks)/2 {
+		t.Errorf("modulo: expected massive collateral movement, got %d/%d", c, len(ks))
+	}
+	if c := perStrategy["range-rebalance"].Collateral; c == 0 {
+		t.Error("range-rebalance: expected non-zero collateral movement")
+	}
+	// Everyone loses the failed node's keys; the counts differ per
+	// strategy only because placement differs, but all must be positive.
+	for name, rep := range perStrategy {
+		if rep.FromFailed == 0 {
+			t.Errorf("%s: victim owned no keys — placement is degenerate", name)
+		}
+	}
+}
+
+// TestRingMovementIsTheoreticalMinimum: the ring's total movement equals
+// exactly the failed node's key count — nothing more can be saved.
+func TestRingMovementIsTheoreticalMinimum(t *testing.T) {
+	p := NewRing(nodes(16), 100)
+	ks := keys(2000)
+	victim := p.Live()[7]
+	ownedByVictim := 0
+	for _, k := range ks {
+		if o, _ := p.Owner(k); o == victim {
+			ownedByVictim++
+		}
+	}
+	rep := MeasureFailure(p, ks, victim)
+	if rep.Moved() != ownedByVictim {
+		t.Errorf("ring moved %d keys, theoretical minimum is %d", rep.Moved(), ownedByVictim)
+	}
+	if rep.MovedFraction() > 2.0/16.0 {
+		t.Errorf("ring moved fraction %.3f suspiciously high for 16 nodes", rep.MovedFraction())
+	}
+}
+
+func TestRangeAbsorbImbalance(t *testing.T) {
+	// After successor absorption, one survivor owns a double range: its
+	// load should be roughly twice the average — the imbalance the paper
+	// cites as range partitioning's weakness.
+	p := NewRange(nodes(16), false)
+	ks := keys(8000)
+	MeasureFailure(p, ks, p.Live()[5])
+	counts := LoadCounts(p, ks)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	avg := float64(len(ks)) / 15.0
+	if float64(maxC) < 1.6*avg {
+		t.Errorf("expected ~2x load on absorbing node, max=%d avg=%.0f", maxC, avg)
+	}
+}
+
+func TestRangeRebalanceStaysBalanced(t *testing.T) {
+	p := NewRange(nodes(16), true)
+	ks := keys(8000)
+	MeasureFailure(p, ks, p.Live()[5])
+	counts := LoadCounts(p, ks)
+	vals := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		vals = append(vals, float64(c))
+	}
+	if cv := stats.CoeffVar(vals); cv > 0.2 {
+		t.Errorf("rebalance-mode range should stay balanced, CV=%.3f", cv)
+	}
+}
+
+func TestMultiHashRepeatedFailures(t *testing.T) {
+	p := NewMultiHash(nodes(12))
+	ks := keys(1000)
+	// Fail half the cluster one at a time; mapping must stay valid and
+	// only the failing nodes' keys may move at each step.
+	for i := 0; i < 6; i++ {
+		victim := p.Live()[0]
+		rep := MeasureFailure(p, ks, victim)
+		if rep.Collateral != 0 {
+			t.Fatalf("multihash collateral movement %d at failure %d", rep.Collateral, i)
+		}
+	}
+	if len(p.Live()) != 6 {
+		t.Fatalf("live=%d", len(p.Live()))
+	}
+}
+
+func TestModuloMatchesHVACFormula(t *testing.T) {
+	// Spot-check that Modulo implements hash(path) mod N over the sorted
+	// node list, which is what the original HVAC client computed.
+	ns := nodes(4)
+	p := NewModulo(ns)
+	for _, k := range keys(50) {
+		owner, _ := p.Owner(k)
+		found := false
+		for _, n := range ns {
+			if n == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not in node set", owner)
+		}
+	}
+}
+
+func TestBalanceAcrossStrategies(t *testing.T) {
+	ks := keys(16000)
+	for _, p := range strategies(16) {
+		counts := LoadCounts(p, ks)
+		vals := make([]float64, 0, 16)
+		for _, n := range p.Live() {
+			vals = append(vals, float64(counts[n]))
+		}
+		cv := stats.CoeffVar(vals)
+		limit := 0.25
+		if cv > limit {
+			t.Errorf("%s: initial load CV=%.3f exceeds %.2f", p.Name(), cv, limit)
+		}
+	}
+}
+
+func TestQuickOwnerAlwaysLive(t *testing.T) {
+	f := func(keyRaw []byte, failIdx uint8) bool {
+		key := string(keyRaw)
+		p := NewMultiHash(nodes(9))
+		p.Fail(p.Live()[int(failIdx)%9])
+		owner, ok := p.Owner(key)
+		if !ok {
+			return false
+		}
+		for _, n := range p.Live() {
+			if n == owner {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovementReportAccessors(t *testing.T) {
+	rep := MovementReport{Keys: 100, FromFailed: 10, Collateral: 5}
+	if rep.Moved() != 15 {
+		t.Errorf("Moved = %d", rep.Moved())
+	}
+	if rep.MovedFraction() != 0.15 {
+		t.Errorf("MovedFraction = %v", rep.MovedFraction())
+	}
+	if (MovementReport{}).MovedFraction() != 0 {
+		t.Error("empty report fraction should be 0")
+	}
+}
+
+func BenchmarkPartitionerOwner(b *testing.B) {
+	ks := keys(1024)
+	for _, p := range strategies(256) {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Owner(ks[i&1023])
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionerMovement(b *testing.B) {
+	ks := keys(4096)
+	builders := []func() Partitioner{
+		func() Partitioner { return NewModulo(nodes(256)) },
+		func() Partitioner { return NewMultiHash(nodes(256)) },
+		func() Partitioner { return NewRange(nodes(256), false) },
+		func() Partitioner { return NewRing(nodes(256), 100) },
+	}
+	for _, mk := range builders {
+		b.Run(mk().Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := mk()
+				MeasureFailure(p, ks, p.Live()[128])
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Network abstracts how cluster endpoints listen and dial so the same
+// HVAC client/server code runs over real TCP (cmd/ftcserver) or fully
+// in-process (tests, examples, single-binary experiments).
+type Network interface {
+	// Listen creates a listener for the named endpoint. For TCP the name
+	// is a host:port address; for the in-process network it is any
+	// unique string (conventionally the node ID).
+	Listen(name string) (net.Listener, error)
+	// Dial connects to the named endpoint.
+	Dial(name string) (net.Conn, error)
+}
+
+// TCPNetwork is the Network over real TCP sockets.
+type TCPNetwork struct{}
+
+// Listen implements Network.
+func (TCPNetwork) Listen(name string) (net.Listener, error) {
+	return net.Listen("tcp", name)
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(name string) (net.Conn, error) {
+	return net.Dial("tcp", name)
+}
+
+// ErrNoEndpoint reports a dial to a name nobody is listening on.
+var ErrNoEndpoint = errors.New("rpc: no such endpoint")
+
+// InprocNetwork connects clients and servers through synchronous pipes
+// inside one process. Every Listen registers a name; Dial hands the
+// listener one end of a net.Pipe.
+type InprocNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// NewInprocNetwork creates an empty in-process network.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{listeners: make(map[string]*inprocListener)}
+}
+
+// Listen implements Network.
+func (n *InprocNetwork) Listen(name string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("rpc: endpoint %q already listening", name)
+	}
+	l := &inprocListener{
+		name:    name,
+		network: n,
+		accept:  make(chan net.Conn),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *InprocNetwork) Dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	l := n.listeners[name]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, name)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("%w: %q (closed)", ErrNoEndpoint, name)
+	}
+}
+
+func (n *InprocNetwork) remove(name string) {
+	n.mu.Lock()
+	delete(n.listeners, name)
+	n.mu.Unlock()
+}
+
+type inprocListener struct {
+	name    string
+	network *InprocNetwork
+	accept  chan net.Conn
+	once    sync.Once
+	closed  chan struct{}
+}
+
+// Accept implements net.Listener.
+func (l *inprocListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.network.remove(l.name)
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *inprocListener) Addr() net.Addr { return inprocAddr(l.name) }
+
+type inprocAddr string
+
+func (a inprocAddr) Network() string { return "inproc" }
+func (a inprocAddr) String() string  { return string(a) }

@@ -1,0 +1,337 @@
+// Package rpc is the request/response transport of the FT-Cache
+// reproduction — the stdlib-only stand-in for the Mercury HPC RPC
+// framework the paper's C++ artifact used.
+//
+// It provides:
+//
+//   - Server: a framed-message server dispatching requests to a Handler,
+//     with an "unresponsive" switch used by the failure-injection harness
+//     to emulate a node that is up at the TCP level but no longer answers
+//     (the network-timeout failure mode §III classifies as node failure).
+//   - Client: a multiplexing client with per-call deadlines. A deadline
+//     expiry surfaces as ErrTimeout, the signal the HVAC client's
+//     timeout-counting failure detector consumes.
+//   - Network interfaces over TCP and an in-process pipe network so whole
+//     clusters can run inside one test binary.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// StatusOK is the conventional success status; applications define their
+// own non-zero statuses.
+const StatusOK uint16 = 0
+
+// Errors surfaced by Client.Call.
+var (
+	// ErrTimeout reports that the per-call deadline expired before a
+	// response arrived. The connection stays usable; a late response is
+	// discarded.
+	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrClosed reports that the connection failed or was closed.
+	ErrClosed = errors.New("rpc: connection closed")
+)
+
+// Handler processes one request and returns a status and response
+// payload. Handlers run concurrently; implementations must be
+// goroutine-safe.
+type Handler interface {
+	Handle(op uint16, payload []byte) (status uint16, resp []byte)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(op uint16, payload []byte) (uint16, []byte)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(op uint16, payload []byte) (uint16, []byte) {
+	return f(op, payload)
+}
+
+// Server accepts framed-RPC connections and dispatches requests.
+type Server struct {
+	handler Handler
+
+	mu           sync.Mutex
+	lis          net.Listener
+	conns        map[net.Conn]struct{}
+	closed       bool
+	unresponsive atomic.Bool
+	wg           sync.WaitGroup
+}
+
+// NewServer creates a Server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// SetUnresponsive toggles fault-injection mode: while set, the server
+// keeps reading requests but never replies, so clients observe timeouts —
+// exactly how a node behind a failed switch appears to its peers.
+func (s *Server) SetUnresponsive(v bool) { s.unresponsive.Store(v) }
+
+// Unresponsive reports whether fault-injection mode is active.
+func (s *Server) Unresponsive() bool { return s.unresponsive.Load() }
+
+// Serve accepts connections on lis until Close. It returns after the
+// listener fails (nil after Close).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	for {
+		f, err := wire.ReadFrame(conn, 0)
+		if err != nil {
+			return
+		}
+		if f.Type != wire.TypeRequest {
+			continue
+		}
+		if s.unresponsive.Load() {
+			continue // swallow the request: the fault-injection behaviour
+		}
+		req := f
+		go func() {
+			status, resp := s.safeHandle(req.Op, req.Payload)
+			if s.unresponsive.Load() {
+				return // became unresponsive while handling
+			}
+			out := wire.Frame{
+				Type:    wire.TypeResponse,
+				ID:      req.ID,
+				Op:      req.Op,
+				Status:  status,
+				Payload: resp,
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = wire.WriteFrame(conn, &out) // conn failure surfaces on next read
+		}()
+	}
+}
+
+// StatusPanic is returned to the client when a handler panics: a daemon
+// serving a thousand-node job must not die because one request tripped a
+// bug — the client sees an error status and the failure stays scoped to
+// that request.
+const StatusPanic uint16 = 0xFFFF
+
+func (s *Server) safeHandle(op uint16, payload []byte) (status uint16, resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			status = StatusPanic
+			resp = []byte(fmt.Sprintf("handler panic: %v", r))
+		}
+	}()
+	return s.handler.Handle(op, payload)
+}
+
+// Close stops accepting, closes all connections, and waits for
+// per-connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+type pendingCall struct {
+	ch chan wire.Frame
+}
+
+// Client is a multiplexing RPC client over a single connection. Calls
+// may be issued concurrently from any goroutine.
+type Client struct {
+	conn   net.Conn
+	nextID atomic.Uint64
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	err     error // terminal connection error
+	done    chan struct{}
+}
+
+// NewClient wraps an established connection and starts the read loop.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]*pendingCall),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := wire.ReadFrame(c.conn, 0)
+		if err != nil {
+			c.failAll(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		if f.Type != wire.TypeResponse {
+			continue
+		}
+		c.mu.Lock()
+		p := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if p != nil {
+			p.ch <- f // buffered; never blocks
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		close(p.ch)
+	}
+	c.mu.Unlock()
+}
+
+// Call sends op/payload and waits for the matching response, the context
+// deadline, or connection failure. Status is the application status from
+// the server. Context expiry maps to ErrTimeout so failure detectors can
+// distinguish "slow/silent node" from "connection refused" (ErrClosed).
+func (c *Client) Call(ctx context.Context, op uint16, payload []byte) (resp []byte, status uint16, err error) {
+	id := c.nextID.Add(1)
+	p := &pendingCall{ch: make(chan wire.Frame, 1)}
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, 0, err
+	}
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	f := wire.Frame{Type: wire.TypeRequest, ID: id, Op: op, Payload: payload}
+	c.writeMu.Lock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetWriteDeadline(dl)
+	} else {
+		_ = c.conn.SetWriteDeadline(time.Time{})
+	}
+	werr := wire.WriteFrame(c.conn, &f)
+	c.writeMu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if isTimeoutErr(werr) {
+			return nil, 0, fmt.Errorf("%w: write: %v", ErrTimeout, werr)
+		}
+		return nil, 0, fmt.Errorf("%w: write: %v", ErrClosed, werr)
+	}
+
+	select {
+	case got, ok := <-p.ch:
+		if !ok {
+			return nil, 0, c.terminalErr()
+		}
+		return got.Payload, got.Status, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, 0, ErrTimeout
+		}
+		return nil, 0, ctx.Err()
+	case <-c.done:
+		return nil, 0, c.terminalErr()
+	}
+}
+
+func (c *Client) terminalErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+func isTimeoutErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Close tears down the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failAll(ErrClosed)
+	return err
+}
+
+// Err returns the terminal connection error, or nil while healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -1,0 +1,297 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	opEcho uint16 = 1
+	opFail uint16 = 2
+	opSlow uint16 = 3
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(op uint16, payload []byte) (uint16, []byte) {
+		switch op {
+		case opEcho:
+			return StatusOK, append([]byte("echo:"), payload...)
+		case opFail:
+			return 7, []byte("application error")
+		case opSlow:
+			time.Sleep(50 * time.Millisecond)
+			return StatusOK, payload
+		default:
+			return 99, nil
+		}
+	})
+}
+
+// startPair starts a server on net and returns a connected client.
+func startPair(t *testing.T, network Network, name string) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(echoHandler())
+	lis, err := network.Listen(name)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(lis)
+	var addr string
+	if _, ok := network.(TCPNetwork); ok {
+		addr = lis.Addr().String()
+	} else {
+		addr = name
+	}
+	conn, err := network.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cli := NewClient(conn)
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return srv, cli
+}
+
+func TestEchoOverInproc(t *testing.T) { testEcho(t, NewInprocNetwork(), "srv-a") }
+func TestEchoOverTCP(t *testing.T)    { testEcho(t, TCPNetwork{}, "127.0.0.1:0") }
+
+func testEcho(t *testing.T, network Network, name string) {
+	_, cli := startPair(t, network, name)
+	resp, status, err := cli.Call(context.Background(), opEcho, []byte("hello"))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if status != StatusOK {
+		t.Errorf("status = %d", status)
+	}
+	if string(resp) != "echo:hello" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestApplicationStatusPassthrough(t *testing.T) {
+	_, cli := startPair(t, NewInprocNetwork(), "s")
+	resp, status, err := cli.Call(context.Background(), opFail, nil)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if status != 7 || string(resp) != "application error" {
+		t.Errorf("got status=%d resp=%q", status, resp)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	_, cli := startPair(t, NewInprocNetwork(), "s")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%03d", i))
+			resp, status, err := cli.Call(context.Background(), opEcho, msg)
+			if err != nil || status != StatusOK {
+				errs <- fmt.Errorf("call %d: status=%d err=%v", i, status, err)
+				return
+			}
+			if !bytes.Equal(resp, append([]byte("echo:"), msg...)) {
+				errs <- fmt.Errorf("call %d: cross-wired response %q", i, resp)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTimeoutAgainstUnresponsiveServer(t *testing.T) {
+	srv, cli := startPair(t, NewInprocNetwork(), "s")
+	srv.SetUnresponsive(true)
+	if !srv.Unresponsive() {
+		t.Fatal("flag not set")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := cli.Call(ctx, opEcho, []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout took far too long")
+	}
+
+	// Recovery: once responsive again, the same client works.
+	srv.SetUnresponsive(false)
+	resp, status, err := cli.Call(context.Background(), opEcho, []byte("back"))
+	if err != nil || status != StatusOK || string(resp) != "echo:back" {
+		t.Fatalf("post-recovery call failed: resp=%q status=%d err=%v", resp, status, err)
+	}
+}
+
+func TestLateResponseDiscarded(t *testing.T) {
+	_, cli := startPair(t, NewInprocNetwork(), "s")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, _, err := cli.Call(ctx, opSlow, []byte("slow")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The late opSlow response must not be delivered to this new call.
+	resp, status, err := cli.Call(context.Background(), opEcho, []byte("fresh"))
+	if err != nil || status != StatusOK || string(resp) != "echo:fresh" {
+		t.Fatalf("follow-up call got resp=%q status=%d err=%v", resp, status, err)
+	}
+}
+
+func TestServerCloseFailsInflightCalls(t *testing.T) {
+	srv, cli := startPair(t, NewInprocNetwork(), "s")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cli.Call(context.Background(), opSlow, []byte("x"))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the call get in flight
+	srv.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrClosed-ish", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call did not fail after server close")
+	}
+}
+
+func TestCallAfterClientClose(t *testing.T) {
+	_, cli := startPair(t, NewInprocNetwork(), "s")
+	cli.Close()
+	if _, _, err := cli.Call(context.Background(), opEcho, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if cli.Err() == nil {
+		t.Error("Err() should be terminal after close")
+	}
+}
+
+func TestDialUnknownEndpoint(t *testing.T) {
+	n := NewInprocNetwork()
+	if _, err := n.Dial("nobody"); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("err = %v, want ErrNoEndpoint", err)
+	}
+}
+
+func TestInprocDuplicateListen(t *testing.T) {
+	n := NewInprocNetwork()
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Error("duplicate listen should fail")
+	}
+	l.Close()
+	if _, err := n.Listen("a"); err != nil {
+		t.Errorf("re-listen after close failed: %v", err)
+	}
+}
+
+func TestInprocDialAfterListenerClose(t *testing.T) {
+	n := NewInprocNetwork()
+	l, _ := n.Listen("a")
+	l.Close()
+	if _, err := n.Dial("a"); !errors.Is(err, ErrNoEndpoint) {
+		t.Errorf("err = %v, want ErrNoEndpoint", err)
+	}
+	if l.Addr().Network() != "inproc" || l.Addr().String() != "a" {
+		t.Error("listener address accessors")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startPair(t, NewInprocNetwork(), "s")
+	srv.Close()
+	srv.Close() // must not panic or deadlock
+}
+
+func TestCancelledContext(t *testing.T) {
+	srv, cli := startPair(t, NewInprocNetwork(), "s")
+	srv.SetUnresponsive(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := cli.Call(ctx, opEcho, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func BenchmarkCallInproc(b *testing.B)  { benchCall(b, NewInprocNetwork(), "bench") }
+func BenchmarkCallTCPLoop(b *testing.B) { benchCall(b, TCPNetwork{}, "127.0.0.1:0") }
+
+func benchCall(b *testing.B, network Network, name string) {
+	srv := NewServer(echoHandler())
+	lis, err := network.Listen(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	addr := name
+	if _, ok := network.(TCPNetwork); ok {
+		addr = lis.Addr().String()
+	}
+	conn, err := network.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+	payload := make([]byte, 1024)
+	ctx := context.Background()
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cli.Call(ctx, opEcho, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(op uint16, payload []byte) (uint16, []byte) {
+		if op == 66 {
+			panic("handler bug")
+		}
+		return StatusOK, []byte("fine")
+	}))
+	network := NewInprocNetwork()
+	lis, _ := network.Listen("p")
+	go srv.Serve(lis)
+	defer srv.Close()
+	conn, _ := network.Dial("p")
+	cli := NewClient(conn)
+	defer cli.Close()
+	ctx := context.Background()
+
+	resp, status, err := cli.Call(ctx, 66, nil)
+	if err != nil {
+		t.Fatalf("panic should surface as status, not transport error: %v", err)
+	}
+	if status != StatusPanic || !bytes.Contains(resp, []byte("handler bug")) {
+		t.Errorf("status=%d resp=%q", status, resp)
+	}
+	// The server must still be alive for other requests.
+	resp, status, err = cli.Call(ctx, 1, nil)
+	if err != nil || status != StatusOK || string(resp) != "fine" {
+		t.Errorf("post-panic call: %q %d %v", resp, status, err)
+	}
+}

@@ -1,0 +1,228 @@
+package slurmlog
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TableI holds the failure-count analysis of Table I.
+type TableI struct {
+	TotalJobs     int // cancelled and unknown states excluded
+	TotalFailures int
+	JobFail       int
+	NodeFail      int
+	Timeout       int
+}
+
+// FailureRatio returns failures over analyzed jobs (paper: 25.04%).
+func (t TableI) FailureRatio() float64 {
+	if t.TotalJobs == 0 {
+		return 0
+	}
+	return float64(t.TotalFailures) / float64(t.TotalJobs)
+}
+
+// ShareOfFailures returns the class share among failures (paper:
+// JobFail 52.50%, Timeout 44.92%, NodeFail 2.58%).
+func (t TableI) ShareOfFailures(s State) float64 {
+	if t.TotalFailures == 0 {
+		return 0
+	}
+	var n int
+	switch s {
+	case StateJobFail:
+		n = t.JobFail
+	case StateNodeFail:
+		n = t.NodeFail
+	case StateTimeout:
+		n = t.Timeout
+	}
+	return float64(n) / float64(t.TotalFailures)
+}
+
+// ShareOfAll returns the class share among all analyzed jobs.
+func (t TableI) ShareOfAll(s State) float64 {
+	if t.TotalJobs == 0 {
+		return 0
+	}
+	return t.ShareOfFailures(s) * t.FailureRatio()
+}
+
+// ComputeTableI classifies records, excluding cancelled jobs.
+func ComputeTableI(recs []Record) TableI {
+	var t TableI
+	for _, r := range recs {
+		if r.State == StateCancelled {
+			continue
+		}
+		t.TotalJobs++
+		switch r.State {
+		case StateJobFail:
+			t.JobFail++
+			t.TotalFailures++
+		case StateNodeFail:
+			t.NodeFail++
+			t.TotalFailures++
+		case StateTimeout:
+			t.Timeout++
+			t.TotalFailures++
+		}
+	}
+	return t
+}
+
+// WeeklyElapsed is one week's Fig 1 data point: mean elapsed minutes of
+// failed jobs per class.
+type WeeklyElapsed struct {
+	Week             int
+	JobFailMinutes   float64
+	TimeoutMinutes   float64
+	NodeFailMinutes  float64
+	AllFailedMinutes float64
+	Failures         int
+}
+
+// Fig1 computes the weekly mean elapsed time of failed jobs over `weeks`
+// weeks from `start`, plus the overall mean (the red dashed line).
+func Fig1(recs []Record, start time.Time, weeks int) (points []WeeklyElapsed, overallMinutes float64) {
+	type acc struct{ job, timeout, node, all stats.Running }
+	byWeek := make([]acc, weeks)
+	var overall stats.Running
+	for _, r := range recs {
+		if !r.IsFailure() {
+			continue
+		}
+		w := r.Week(start)
+		if w < 0 || w >= weeks {
+			continue
+		}
+		mins := r.Elapsed.Minutes()
+		overall.Add(mins)
+		byWeek[w].all.Add(mins)
+		switch r.State {
+		case StateJobFail:
+			byWeek[w].job.Add(mins)
+		case StateTimeout:
+			byWeek[w].timeout.Add(mins)
+		case StateNodeFail:
+			byWeek[w].node.Add(mins)
+		}
+	}
+	points = make([]WeeklyElapsed, weeks)
+	for w := range byWeek {
+		points[w] = WeeklyElapsed{
+			Week:             w,
+			JobFailMinutes:   byWeek[w].job.Mean(),
+			TimeoutMinutes:   byWeek[w].timeout.Mean(),
+			NodeFailMinutes:  byWeek[w].node.Mean(),
+			AllFailedMinutes: byWeek[w].all.Mean(),
+			Failures:         byWeek[w].all.N(),
+		}
+	}
+	return points, overall.Mean()
+}
+
+// Bucket is one histogram bucket of Fig 2 with its per-class failure mix.
+type Bucket struct {
+	Label    string
+	Lo, Hi   float64 // [Lo, Hi) in the bucketed dimension
+	JobFail  int
+	Timeout  int
+	NodeFail int
+}
+
+// Total returns the bucket's failure count.
+func (b Bucket) Total() int { return b.JobFail + b.Timeout + b.NodeFail }
+
+// Share returns the class fraction within the bucket.
+func (b Bucket) Share(s State) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	switch s {
+	case StateJobFail:
+		return float64(b.JobFail) / float64(t)
+	case StateTimeout:
+		return float64(b.Timeout) / float64(t)
+	case StateNodeFail:
+		return float64(b.NodeFail) / float64(t)
+	}
+	return 0
+}
+
+// NodeFailureClassShare is NodeFail+Timeout within the bucket — the
+// paper's combined metric (78.60% in the top node bucket).
+func (b Bucket) NodeFailureClassShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Timeout+b.NodeFail) / float64(t)
+}
+
+// NodeBuckets is Fig 2(a)'s x-axis, the last bucket being the paper's
+// 7,750–9,300 whole-machine range.
+func NodeBuckets() []Bucket {
+	mk := func(label string, lo, hi float64) Bucket { return Bucket{Label: label, Lo: lo, Hi: hi} }
+	return []Bucket{
+		mk("1-15", 1, 16),
+		mk("16-155", 16, 156),
+		mk("156-1550", 156, 1551),
+		mk("1551-7749", 1551, 7750),
+		mk("7750-9300", 7750, 9301),
+	}
+}
+
+// ElapsedBuckets is Fig 2(b)'s x-axis (minutes).
+func ElapsedBuckets() []Bucket {
+	mk := func(label string, lo, hi float64) Bucket { return Bucket{Label: label, Lo: lo, Hi: hi} }
+	return []Bucket{
+		mk("0-10m", 0, 10),
+		mk("10-30m", 10, 30),
+		mk("30-60m", 30, 60),
+		mk("1-2h", 60, 120),
+		mk("2h+", 120, 1e18),
+	}
+}
+
+// Fig2a buckets failures by node count.
+func Fig2a(recs []Record) []Bucket {
+	buckets := NodeBuckets()
+	for _, r := range recs {
+		if !r.IsFailure() {
+			continue
+		}
+		fill(buckets, float64(r.Nodes), r.State)
+	}
+	return buckets
+}
+
+// Fig2b buckets failures by elapsed minutes.
+func Fig2b(recs []Record) []Bucket {
+	buckets := ElapsedBuckets()
+	for _, r := range recs {
+		if !r.IsFailure() {
+			continue
+		}
+		fill(buckets, r.Elapsed.Minutes(), r.State)
+	}
+	return buckets
+}
+
+func fill(buckets []Bucket, x float64, s State) {
+	for i := range buckets {
+		if x >= buckets[i].Lo && x < buckets[i].Hi {
+			switch s {
+			case StateJobFail:
+				buckets[i].JobFail++
+			case StateTimeout:
+				buckets[i].Timeout++
+			case StateNodeFail:
+				buckets[i].NodeFail++
+			}
+			return
+		}
+	}
+}

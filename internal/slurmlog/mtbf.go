@@ -1,0 +1,125 @@
+package slurmlog
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file quantifies the paper's §III motivation — "as the number of
+// compute nodes increases in DL, the probability of node failure
+// increases correspondingly" — as an estimable model: a per-node MTBF
+// extracted from the job log, and the induced survival probability of an
+// N-node job of a given duration.
+
+// MTBFReport summarizes node-failure incidence in a log.
+type MTBFReport struct {
+	// Span is the observation window (first to last submit).
+	Span time.Duration
+	// NodeFailureEvents counts jobs killed by the node-failure class
+	// (NODE_FAIL + TIMEOUT, the paper's definition).
+	NodeFailureEvents int
+	// NodeHours is the total node-time the log's jobs consumed.
+	NodeHours float64
+	// PerNodeMTBF is the estimated mean time between failures of a
+	// single node: NodeHours / events.
+	PerNodeMTBF time.Duration
+}
+
+// EstimateMTBF computes the report. Jobs with zero elapsed time or zero
+// nodes contribute nothing. Returns a zero report for empty logs.
+func EstimateMTBF(recs []Record) MTBFReport {
+	var rep MTBFReport
+	if len(recs) == 0 {
+		return rep
+	}
+	first, last := recs[0].Submit, recs[0].Submit
+	for _, r := range recs {
+		if r.Submit.Before(first) {
+			first = r.Submit
+		}
+		if r.Submit.After(last) {
+			last = r.Submit
+		}
+		if r.State == StateCancelled {
+			continue
+		}
+		rep.NodeHours += float64(r.Nodes) * r.Elapsed.Hours()
+		if r.IsNodeFailureClass() {
+			rep.NodeFailureEvents++
+		}
+	}
+	rep.Span = last.Sub(first)
+	if rep.NodeFailureEvents > 0 {
+		hours := rep.NodeHours / float64(rep.NodeFailureEvents)
+		rep.PerNodeMTBF = time.Duration(hours * float64(time.Hour))
+	}
+	return rep
+}
+
+// SurvivalProbability returns P(an N-node job of the given duration sees
+// no node failure), assuming independent exponential per-node failures
+// with the report's MTBF: exp(-N·T/MTBF).
+func (m MTBFReport) SurvivalProbability(nodes int, duration time.Duration) float64 {
+	if m.PerNodeMTBF <= 0 || nodes <= 0 || duration <= 0 {
+		return 1
+	}
+	lambda := float64(nodes) * float64(duration) / float64(m.PerNodeMTBF)
+	return math.Exp(-lambda)
+}
+
+// ExpectedFailures returns the expected node-failure count for an N-node
+// job of the given duration.
+func (m MTBFReport) ExpectedFailures(nodes int, duration time.Duration) float64 {
+	if m.PerNodeMTBF <= 0 {
+		return 0
+	}
+	return float64(nodes) * float64(duration) / float64(m.PerNodeMTBF)
+}
+
+// FailureProbabilityByNodes is the empirical counterpart: per node-count
+// bucket, the fraction of (non-cancelled) jobs that died to the
+// node-failure class. This is the paper's Fig 2(a) trend expressed as a
+// probability instead of a mix.
+type FailureProbabilityPoint struct {
+	Label       string
+	Jobs        int
+	NodeClass   int
+	Probability float64
+}
+
+// FailureProbabilityByNodes buckets jobs by node count.
+func FailureProbabilityByNodes(recs []Record) []FailureProbabilityPoint {
+	buckets := NodeBuckets()
+	jobs := make([]int, len(buckets))
+	events := make([]int, len(buckets))
+	for _, r := range recs {
+		if r.State == StateCancelled {
+			continue
+		}
+		idx := sort.Search(len(buckets), func(i int) bool {
+			return float64(r.Nodes) < buckets[i].Hi
+		})
+		if idx >= len(buckets) {
+			idx = len(buckets) - 1
+		}
+		jobs[idx]++
+		if r.IsNodeFailureClass() {
+			events[idx]++
+		}
+	}
+	out := make([]FailureProbabilityPoint, len(buckets))
+	for i, b := range buckets {
+		p := 0.0
+		if jobs[i] > 0 {
+			p = float64(events[i]) / float64(jobs[i])
+		}
+		out[i] = FailureProbabilityPoint{
+			Label:       b.Label,
+			Jobs:        jobs[i],
+			NodeClass:   events[i],
+			Probability: p,
+		}
+	}
+	return out
+}

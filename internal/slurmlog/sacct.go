@@ -1,0 +1,114 @@
+package slurmlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sacct -P column layout this package reads and writes:
+//
+//	JobID|State|NNodes|ElapsedRaw|Submit
+//
+// ElapsedRaw is whole seconds; Submit is RFC 3339 without a zone
+// (SLURM's %Y-%m-%dT%H:%M:%S), interpreted as UTC.
+
+const sacctHeader = "JobID|State|NNodes|ElapsedRaw|Submit"
+
+const sacctTime = "2006-01-02T15:04:05"
+
+// WriteSacct serializes records in sacct -P format, header included.
+func WriteSacct(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, sacctHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		_, err := fmt.Fprintf(bw, "%d|%s|%d|%d|%s\n",
+			r.JobID, r.State, r.Nodes, int64(r.Elapsed/time.Second),
+			r.Submit.UTC().Format(sacctTime))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseSacct reads sacct -P output. It tolerates a header line, blank
+// lines, and job-step sub-records (JobIDs like "123.batch" or "123.0"),
+// which are skipped as in the paper's job-level analysis. State
+// suffixes such as "CANCELLED by 12345" are normalized. Malformed lines
+// abort with a line-numbered error: silently dropping records would
+// bias the statistics.
+func ParseSacct(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == sacctHeader {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("slurmlog: line %d: %d fields, want 5", lineNo, len(fields))
+		}
+		if strings.Contains(fields[0], ".") {
+			continue // job step, not a job
+		}
+		jobID, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slurmlog: line %d: bad JobID %q", lineNo, fields[0])
+		}
+		state := normalizeState(fields[1])
+		nodes, err := strconv.Atoi(fields[2])
+		if err != nil || nodes < 0 {
+			return nil, fmt.Errorf("slurmlog: line %d: bad NNodes %q", lineNo, fields[2])
+		}
+		secs, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || secs < 0 {
+			return nil, fmt.Errorf("slurmlog: line %d: bad ElapsedRaw %q", lineNo, fields[3])
+		}
+		submit, err := time.Parse(sacctTime, fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("slurmlog: line %d: bad Submit %q", lineNo, fields[4])
+		}
+		out = append(out, Record{
+			JobID:   jobID,
+			State:   state,
+			Nodes:   nodes,
+			Elapsed: time.Duration(secs) * time.Second,
+			Submit:  submit.UTC(),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// normalizeState maps raw sacct states onto the study's classes.
+func normalizeState(s string) State {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasPrefix(s, "CANCELLED"):
+		return StateCancelled
+	case s == "FAILED", s == "OUT_OF_MEMORY":
+		return StateJobFail
+	case s == "NODE_FAIL":
+		return StateNodeFail
+	case s == "TIMEOUT":
+		return StateTimeout
+	case s == "COMPLETED":
+		return StateCompleted
+	default:
+		// Unknown states (RUNNING, PENDING, REQUEUED…) are outside the
+		// terminal-state study; treat as cancelled-equivalent: excluded.
+		return StateCancelled
+	}
+}

@@ -1,0 +1,267 @@
+package slurmlog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func genSmall(t *testing.T) ([]Record, GeneratorConfig) {
+	t.Helper()
+	cfg := FrontierDefaults(7)
+	cfg.Jobs = 40000 // enough for tight marginals, fast in tests
+	return Generate(cfg), cfg
+}
+
+func TestGeneratorMarginalsMatchTableI(t *testing.T) {
+	recs, _ := genSmall(t)
+	tab := ComputeTableI(recs)
+
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.4f, want %.4f ± %.4f", name, got, want, tol)
+		}
+	}
+	// Paper: 25.04% of jobs fail; of failures 52.50% JobFail,
+	// 44.92% Timeout, 2.58% NodeFail.
+	within("failure ratio", tab.FailureRatio(), 0.2504, 0.02)
+	within("job-fail share", tab.ShareOfFailures(StateJobFail), 0.5250, 0.03)
+	within("timeout share", tab.ShareOfFailures(StateTimeout), 0.4492, 0.03)
+	within("node-fail share", tab.ShareOfFailures(StateNodeFail), 0.0258, 0.01)
+	shares := tab.ShareOfFailures(StateJobFail) +
+		tab.ShareOfFailures(StateTimeout) + tab.ShareOfFailures(StateNodeFail)
+	if math.Abs(shares-1) > 1e-9 {
+		t.Errorf("failure shares sum to %v", shares)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := FrontierDefaults(3)
+	cfg.Jobs = 500
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestFig1OverallMeanNear75Minutes(t *testing.T) {
+	recs, cfg := genSmall(t)
+	points, overall := Fig1(recs, cfg.Start, cfg.Weeks)
+	if len(points) != cfg.Weeks {
+		t.Fatalf("weeks = %d", len(points))
+	}
+	// Paper: "on average, jobs run for over an hour before failing" with
+	// an overall mean around 75 minutes.
+	if overall < 55 || overall > 100 {
+		t.Errorf("overall mean failed elapsed = %.1f min, want ~75", overall)
+	}
+	// Every week has failures ("job failures occur consistently every
+	// week"), and some weeks average over two hours.
+	over2h := 0
+	for _, p := range points {
+		if p.Failures == 0 {
+			t.Errorf("week %d has no failures", p.Week)
+		}
+		if p.AllFailedMinutes > 120 {
+			over2h++
+		}
+	}
+	if over2h == 0 {
+		t.Error("expected some weeks with >2h mean elapsed (Fig 1 peaks)")
+	}
+}
+
+func TestFig2aNodeFailGrowsWithNodeCount(t *testing.T) {
+	recs, _ := genSmall(t)
+	buckets := Fig2a(recs)
+	if len(buckets) != 5 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	first, last := buckets[0], buckets[len(buckets)-1]
+	if last.Share(StateNodeFail) <= first.Share(StateNodeFail) {
+		t.Errorf("NODE_FAIL share should grow with node count: %.3f → %.3f",
+			first.Share(StateNodeFail), last.Share(StateNodeFail))
+	}
+	// Paper: 46.04% NODE_FAIL and 78.60% NODE_FAIL+TIMEOUT in the
+	// whole-machine bucket.
+	if got := last.Share(StateNodeFail); math.Abs(got-0.4604) > 0.12 {
+		t.Errorf("top-bucket NODE_FAIL share = %.3f, want ≈ 0.46", got)
+	}
+	if got := last.NodeFailureClassShare(); math.Abs(got-0.7860) > 0.12 {
+		t.Errorf("top-bucket NODE_FAIL+TIMEOUT share = %.3f, want ≈ 0.786", got)
+	}
+}
+
+func TestFig2bElapsedIndependence(t *testing.T) {
+	recs, _ := genSmall(t)
+	buckets := Fig2b(recs)
+	// Paper: "the duration of runtime does not significantly affect the
+	// ratio of failure types" — JobFail share roughly flat across
+	// elapsed buckets.
+	var shares []float64
+	for _, b := range buckets {
+		if b.Total() > 100 {
+			shares = append(shares, b.Share(StateJobFail))
+		}
+	}
+	if len(shares) < 3 {
+		t.Fatalf("too few populated buckets: %d", len(shares))
+	}
+	for i := 1; i < len(shares); i++ {
+		if math.Abs(shares[i]-shares[0]) > 0.12 {
+			t.Errorf("JobFail share varies too much with elapsed: %v", shares)
+		}
+	}
+}
+
+func TestSacctRoundTrip(t *testing.T) {
+	cfg := FrontierDefaults(5)
+	cfg.Jobs = 300
+	recs := Generate(cfg)
+	var buf bytes.Buffer
+	if err := WriteSacct(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSacct(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(recs) {
+		t.Fatalf("parsed %d, want %d", len(parsed), len(recs))
+	}
+	for i := range recs {
+		if parsed[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, parsed[i], recs[i])
+		}
+	}
+}
+
+func TestParseSacctRealisticInput(t *testing.T) {
+	in := strings.Join([]string{
+		"JobID|State|NNodes|ElapsedRaw|Submit",
+		"",
+		"1234|COMPLETED|16|3600|2023-01-05T10:00:00",
+		"1234.batch|COMPLETED|16|3600|2023-01-05T10:00:00", // step: skipped
+		"1234.0|COMPLETED|16|3590|2023-01-05T10:00:00",     // step: skipped
+		"1235|CANCELLED by 10234|1|60|2023-01-05T11:00:00",
+		"1236|OUT_OF_MEMORY|4|120|2023-01-05T12:00:00",
+		"1237|NODE_FAIL|512|9000|2023-01-06T01:02:03",
+		"1238|RUNNING|8|100|2023-01-06T02:00:00",
+	}, "\n")
+	recs, err := ParseSacct(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	if recs[1].State != StateCancelled {
+		t.Errorf("CANCELLED by → %s", recs[1].State)
+	}
+	if recs[2].State != StateJobFail {
+		t.Errorf("OOM → %s, want job-fail class", recs[2].State)
+	}
+	if recs[3].State != StateNodeFail || recs[3].Nodes != 512 {
+		t.Errorf("node-fail record: %+v", recs[3])
+	}
+	if recs[4].State != StateCancelled {
+		t.Errorf("RUNNING should map to excluded class, got %s", recs[4].State)
+	}
+}
+
+func TestParseSacctErrors(t *testing.T) {
+	cases := []string{
+		"1|FAILED|4|100",                           // missing field
+		"x|FAILED|4|100|2023-01-05T10:00:00",       // bad job id
+		"1|FAILED|-4|100|2023-01-05T10:00:00",      // bad nodes
+		"1|FAILED|4|nope|2023-01-05T10:00:00",      // bad elapsed
+		"1|FAILED|4|100|yesterday",                 // bad time
+		"1|FAILED|4|100|2023-01-05T10:00:00|extra", // too many fields
+	}
+	for _, c := range cases {
+		if _, err := ParseSacct(strings.NewReader(c)); err == nil {
+			t.Errorf("line %q should fail to parse", c)
+		}
+	}
+}
+
+func TestTableIEdgeCases(t *testing.T) {
+	var empty TableI
+	if empty.FailureRatio() != 0 || empty.ShareOfFailures(StateJobFail) != 0 ||
+		empty.ShareOfAll(StateTimeout) != 0 {
+		t.Error("empty table should report zeros")
+	}
+	recs := []Record{
+		{State: StateCancelled}, // excluded entirely
+		{State: StateCompleted},
+		{State: StateTimeout},
+	}
+	tab := ComputeTableI(recs)
+	if tab.TotalJobs != 2 || tab.TotalFailures != 1 || tab.Timeout != 1 {
+		t.Errorf("table = %+v", tab)
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := Record{State: StateTimeout, Submit: time.Date(2023, 1, 16, 0, 0, 0, 0, time.UTC)}
+	if !r.IsFailure() || !r.IsNodeFailureClass() {
+		t.Error("timeout should be failure and node-failure class")
+	}
+	start := time.Date(2023, 1, 2, 0, 0, 0, 0, time.UTC)
+	if w := r.Week(start); w != 2 {
+		t.Errorf("week = %d, want 2", w)
+	}
+	if (Record{State: StateJobFail}).IsNodeFailureClass() {
+		t.Error("job-fail is not node-failure class")
+	}
+	early := Record{Submit: start.Add(-time.Hour)}
+	if early.Week(start) != 0 {
+		t.Error("pre-start submit should clamp to week 0")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	b := Bucket{JobFail: 5, Timeout: 3, NodeFail: 2}
+	if b.Total() != 10 {
+		t.Errorf("total = %d", b.Total())
+	}
+	if b.Share(StateJobFail) != 0.5 || b.Share(StateTimeout) != 0.3 || b.Share(StateNodeFail) != 0.2 {
+		t.Error("shares wrong")
+	}
+	if b.NodeFailureClassShare() != 0.5 {
+		t.Errorf("combined share = %v", b.NodeFailureClassShare())
+	}
+	var zero Bucket
+	if zero.Share(StateJobFail) != 0 || zero.NodeFailureClassShare() != 0 {
+		t.Error("empty bucket should report zeros")
+	}
+}
+
+func BenchmarkGenerate10k(b *testing.B) {
+	cfg := FrontierDefaults(1)
+	cfg.Jobs = 10000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	cfg := FrontierDefaults(1)
+	cfg.Jobs = 50000
+	recs := Generate(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeTableI(recs)
+		Fig1(recs, cfg.Start, cfg.Weeks)
+		Fig2a(recs)
+		Fig2b(recs)
+	}
+}

@@ -1,0 +1,250 @@
+// Package storage provides the two storage tiers of the FT-Cache stack:
+//
+//   - NVMe: the node-local cache device (Frontier: 2×1.9 TB PM9A3 in
+//     RAID0, 3.5 TB usable) — here an in-memory object store with
+//     capacity accounting and LRU eviction.
+//   - PFS: the center-wide parallel file system (Lustre "Orion") — a
+//     shared object store that additionally tracks access counts, the
+//     key observable in the paper's experiments (each strategy is
+//     distinguished by *how often it goes back to the PFS*).
+//
+// Functional behaviour (what is stored where) is separated from
+// performance behaviour: device *models* in device.go turn byte counts
+// and concurrency into service times for the discrete-event simulator,
+// so live tests run at memory speed while experiments reproduce
+// Frontier-like timing.
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Common store errors.
+var (
+	// ErrNotFound reports a missing object.
+	ErrNotFound = errors.New("storage: object not found")
+	// ErrTooLarge reports an object bigger than the device capacity.
+	ErrTooLarge = errors.New("storage: object exceeds device capacity")
+)
+
+// Store is the minimal object interface shared by both tiers.
+type Store interface {
+	// Put stores data under path, replacing any prior object.
+	Put(path string, data []byte) error
+	// Get returns the object at path or ErrNotFound. The returned slice
+	// must not be modified by the caller.
+	Get(path string) ([]byte, error)
+	// Has reports whether path is present.
+	Has(path string) bool
+	// Delete removes path if present; absent paths are a no-op.
+	Delete(path string)
+	// Stats returns object count and total bytes.
+	Stats() (objects int, bytes int64)
+}
+
+// NVMe is the node-local cache store: bounded capacity with LRU eviction
+// on insert pressure (the cache holds a *replaceable copy* of PFS data,
+// so evicting is always safe).
+type NVMe struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	items    map[string]*list.Element
+	lru      *list.List // front = most recently used
+
+	evictions atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+}
+
+type nvmeEntry struct {
+	path string
+	data []byte
+}
+
+// NewNVMe creates a store with the given byte capacity. capacity <= 0
+// means unbounded (useful in unit tests).
+func NewNVMe(capacity int64) *NVMe {
+	return &NVMe{
+		capacity: capacity,
+		items:    make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Put implements Store, evicting least-recently-used objects as needed.
+func (n *NVMe) Put(path string, data []byte) error {
+	size := int64(len(data))
+	if n.capacity > 0 && size > n.capacity {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, n.capacity)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if el, ok := n.items[path]; ok {
+		old := el.Value.(*nvmeEntry)
+		n.used -= int64(len(old.data))
+		old.data = data
+		n.used += size
+		n.lru.MoveToFront(el)
+	} else {
+		el := n.lru.PushFront(&nvmeEntry{path: path, data: data})
+		n.items[path] = el
+		n.used += size
+	}
+	for n.capacity > 0 && n.used > n.capacity {
+		tail := n.lru.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*nvmeEntry)
+		n.lru.Remove(tail)
+		delete(n.items, ent.path)
+		n.used -= int64(len(ent.data))
+		n.evictions.Add(1)
+	}
+	return nil
+}
+
+// Get implements Store and refreshes recency on hit.
+func (n *NVMe) Get(path string) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	el, ok := n.items[path]
+	if !ok {
+		n.misses.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	n.hits.Add(1)
+	n.lru.MoveToFront(el)
+	return el.Value.(*nvmeEntry).data, nil
+}
+
+// Has implements Store without perturbing recency or hit counters.
+func (n *NVMe) Has(path string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.items[path]
+	return ok
+}
+
+// Delete implements Store.
+func (n *NVMe) Delete(path string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if el, ok := n.items[path]; ok {
+		n.used -= int64(len(el.Value.(*nvmeEntry).data))
+		n.lru.Remove(el)
+		delete(n.items, path)
+	}
+}
+
+// Stats implements Store.
+func (n *NVMe) Stats() (int, int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.items), n.used
+}
+
+// Counters returns cumulative hit/miss/eviction counts.
+func (n *NVMe) Counters() (hits, misses, evictions int64) {
+	return n.hits.Load(), n.misses.Load(), n.evictions.Load()
+}
+
+// Capacity returns the configured byte capacity (0 = unbounded).
+func (n *NVMe) Capacity() int64 { return n.capacity }
+
+// Clear drops every object — used to model losing a node's cache when
+// the node "fails" and later rejoins empty.
+func (n *NVMe) Clear() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.items = make(map[string]*list.Element)
+	n.lru.Init()
+	n.used = 0
+}
+
+// PFS is the shared parallel file system: the durable home of the
+// training dataset. It counts reads and metadata operations because the
+// paper's whole argument is about minimizing them.
+type PFS struct {
+	mu    sync.RWMutex
+	items map[string][]byte
+	bytes int64
+
+	reads       atomic.Int64
+	readBytes   atomic.Int64
+	metadataOps atomic.Int64
+}
+
+// NewPFS creates an empty PFS.
+func NewPFS() *PFS {
+	return &PFS{items: make(map[string][]byte)}
+}
+
+// Put implements Store (dataset staging, done before training).
+func (p *PFS) Put(path string, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.items[path]; ok {
+		p.bytes -= int64(len(old))
+	}
+	p.items[path] = data
+	p.bytes += int64(len(data))
+	return nil
+}
+
+// Get implements Store, counting one metadata op and one read.
+func (p *PFS) Get(path string) ([]byte, error) {
+	p.metadataOps.Add(1)
+	p.mu.RLock()
+	data, ok := p.items[path]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	p.reads.Add(1)
+	p.readBytes.Add(int64(len(data)))
+	return data, nil
+}
+
+// Has implements Store, counting one metadata op.
+func (p *PFS) Has(path string) bool {
+	p.metadataOps.Add(1)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.items[path]
+	return ok
+}
+
+// Delete implements Store.
+func (p *PFS) Delete(path string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.items[path]; ok {
+		p.bytes -= int64(len(old))
+		delete(p.items, path)
+	}
+}
+
+// Stats implements Store.
+func (p *PFS) Stats() (int, int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.items), p.bytes
+}
+
+// Counters returns cumulative read count, read bytes, and metadata ops.
+func (p *PFS) Counters() (reads, readBytes, metadataOps int64) {
+	return p.reads.Load(), p.readBytes.Load(), p.metadataOps.Load()
+}
+
+// ResetCounters zeroes the access counters (between experiment phases).
+func (p *PFS) ResetCounters() {
+	p.reads.Store(0)
+	p.readBytes.Store(0)
+	p.metadataOps.Store(0)
+}

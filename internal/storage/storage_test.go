@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNVMePutGet(t *testing.T) {
+	n := NewNVMe(0)
+	if err := n.Put("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get("a")
+	if err != nil || !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !n.Has("a") || n.Has("b") {
+		t.Error("Has mismatch")
+	}
+	if _, err := n.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing Get err = %v", err)
+	}
+	objs, used := n.Stats()
+	if objs != 1 || used != 5 {
+		t.Errorf("stats = %d, %d", objs, used)
+	}
+}
+
+func TestNVMeReplaceAccountsBytes(t *testing.T) {
+	n := NewNVMe(0)
+	n.Put("a", make([]byte, 100))
+	n.Put("a", make([]byte, 40))
+	objs, used := n.Stats()
+	if objs != 1 || used != 40 {
+		t.Errorf("stats after replace = %d, %d", objs, used)
+	}
+}
+
+func TestNVMeDelete(t *testing.T) {
+	n := NewNVMe(0)
+	n.Put("a", make([]byte, 10))
+	n.Delete("a")
+	n.Delete("a") // idempotent
+	if objs, used := n.Stats(); objs != 0 || used != 0 {
+		t.Errorf("stats after delete = %d, %d", objs, used)
+	}
+}
+
+func TestNVMeLRUEviction(t *testing.T) {
+	n := NewNVMe(100)
+	n.Put("a", make([]byte, 40))
+	n.Put("b", make([]byte, 40))
+	// Touch "a" so "b" is the LRU victim.
+	n.Get("a")
+	n.Put("c", make([]byte, 40)) // exceeds 100 → evict b
+	if !n.Has("a") || n.Has("b") || !n.Has("c") {
+		t.Errorf("eviction picked wrong victim: a=%v b=%v c=%v", n.Has("a"), n.Has("b"), n.Has("c"))
+	}
+	if _, _, ev := n.Counters(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if _, used := n.Stats(); used > 100 {
+		t.Errorf("used %d exceeds capacity", used)
+	}
+}
+
+func TestNVMeTooLarge(t *testing.T) {
+	n := NewNVMe(10)
+	if err := n.Put("a", make([]byte, 11)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNVMeHitMissCounters(t *testing.T) {
+	n := NewNVMe(0)
+	n.Put("a", []byte("x"))
+	n.Get("a")
+	n.Get("a")
+	n.Get("missing")
+	hits, misses, _ := n.Counters()
+	if hits != 2 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestNVMeClear(t *testing.T) {
+	n := NewNVMe(0)
+	for i := 0; i < 10; i++ {
+		n.Put(fmt.Sprintf("f%d", i), make([]byte, 8))
+	}
+	n.Clear()
+	if objs, used := n.Stats(); objs != 0 || used != 0 {
+		t.Errorf("after clear: %d objs %d bytes", objs, used)
+	}
+	// Store must remain usable.
+	n.Put("again", []byte("y"))
+	if !n.Has("again") {
+		t.Error("store broken after Clear")
+	}
+}
+
+func TestNVMeCapacityInvariantQuick(t *testing.T) {
+	// Property: used never exceeds capacity regardless of op sequence.
+	f := func(ops []uint16) bool {
+		n := NewNVMe(1000)
+		for _, op := range ops {
+			path := fmt.Sprintf("f%d", op%50)
+			switch op % 3 {
+			case 0:
+				n.Put(path, make([]byte, int(op%400)))
+			case 1:
+				n.Get(path)
+			case 2:
+				n.Delete(path)
+			}
+			if _, used := n.Stats(); used > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNVMeConcurrent(t *testing.T) {
+	n := NewNVMe(10000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := fmt.Sprintf("g%d-f%d", g, i%20)
+				n.Put(p, make([]byte, 64))
+				n.Get(p)
+				if i%7 == 0 {
+					n.Delete(p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, used := n.Stats(); used > 10000 {
+		t.Errorf("capacity exceeded under concurrency: %d", used)
+	}
+}
+
+func TestPFSBasics(t *testing.T) {
+	p := NewPFS()
+	p.Put("d/a", []byte("data-a"))
+	got, err := p.Get("d/a")
+	if err != nil || string(got) != "data-a" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := p.Get("d/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+	if !p.Has("d/a") || p.Has("d/x") {
+		t.Error("Has mismatch")
+	}
+	p.Put("d/a", []byte("xy"))
+	if objs, b := p.Stats(); objs != 1 || b != 2 {
+		t.Errorf("stats = %d, %d", objs, b)
+	}
+	p.Delete("d/a")
+	if objs, b := p.Stats(); objs != 0 || b != 0 {
+		t.Errorf("stats after delete = %d, %d", objs, b)
+	}
+}
+
+func TestPFSCounters(t *testing.T) {
+	p := NewPFS()
+	p.Put("a", make([]byte, 10))
+	p.Get("a")
+	p.Get("a")
+	p.Get("missing") // metadata op but no read
+	p.Has("a")       // metadata op only
+	reads, rb, meta := p.Counters()
+	if reads != 2 || rb != 20 {
+		t.Errorf("reads=%d bytes=%d", reads, rb)
+	}
+	if meta != 4 {
+		t.Errorf("metadataOps=%d, want 4", meta)
+	}
+	p.ResetCounters()
+	if r, b, m := p.Counters(); r != 0 || b != 0 || m != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestNVMeModelTimes(t *testing.T) {
+	m := FrontierNVMe()
+	rt := m.ReadTime(8 * GiB)
+	if rt < time.Second || rt > 1100*time.Millisecond {
+		t.Errorf("8 GiB read at 8 GiB/s = %v, want ~1s", rt)
+	}
+	wt := m.WriteTime(4 * GiB)
+	if wt < time.Second || wt > 1100*time.Millisecond {
+		t.Errorf("4 GiB write at 4 GiB/s = %v, want ~1s", wt)
+	}
+	if m.ReadTime(0) != m.AccessLatency {
+		t.Error("zero-byte read should cost only latency")
+	}
+}
+
+func TestPFSModelContention(t *testing.T) {
+	m := FrontierOrion()
+	alone := m.ReadTime(64*MiB, 1)
+	crowded := m.ReadTime(64*MiB, 1024)
+	if crowded <= alone {
+		t.Errorf("contended read (%v) should exceed solo read (%v)", crowded, alone)
+	}
+	// At 1024 readers each gets ~220/1024 GiB/s ≈ 0.215 GiB/s; a 64 MiB
+	// read takes ≈ 0.29 s plus metadata.
+	if crowded < 200*time.Millisecond || crowded > 2*time.Second {
+		t.Errorf("contended read = %v, out of plausible range", crowded)
+	}
+}
+
+func TestPFSModelPerClientCap(t *testing.T) {
+	m := PFSModel{AggregateBandwidth: 100 * GiB, PerClientCap: 1 * GiB, MetadataParallelism: 1}
+	// A single client must be capped at 1 GiB/s even though the aggregate
+	// would allow 100 GiB/s.
+	rt := m.ReadTime(1*GiB, 1)
+	if rt < 900*time.Millisecond {
+		t.Errorf("per-client cap not applied: %v", rt)
+	}
+}
+
+func TestPFSMetadataQueueing(t *testing.T) {
+	m := PFSModel{MetadataOpTime: time.Millisecond, MetadataParallelism: 4}
+	if got := m.MetadataTime(1); got != time.Millisecond {
+		t.Errorf("solo metadata = %v", got)
+	}
+	if got := m.MetadataTime(8); got != 2*time.Millisecond {
+		t.Errorf("8 clients over 4-wide MDS = %v, want 2ms", got)
+	}
+	if got := m.MetadataTime(0); got != time.Millisecond {
+		t.Errorf("clamped concurrency = %v", got)
+	}
+}
+
+func TestModelMonotonicity(t *testing.T) {
+	m := FrontierOrion()
+	prev := time.Duration(0)
+	for _, c := range []int{1, 2, 8, 64, 512, 1024} {
+		rt := m.ReadTime(2*MiB, c)
+		if rt < prev {
+			t.Errorf("ReadTime not monotonic in concurrency at %d: %v < %v", c, rt, prev)
+		}
+		prev = rt
+	}
+	prevB := time.Duration(0)
+	for _, b := range []int64{0, KiB, MiB, 16 * MiB, GiB} {
+		rt := m.ReadTime(b, 16)
+		if rt < prevB {
+			t.Errorf("ReadTime not monotonic in size at %d", b)
+		}
+		prevB = rt
+	}
+}
+
+func BenchmarkNVMePutGet(b *testing.B) {
+	n := NewNVMe(1 << 30)
+	data := make([]byte, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := fmt.Sprintf("f%d", i%1000)
+		n.Put(p, data)
+		n.Get(p)
+	}
+}

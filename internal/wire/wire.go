@@ -1,0 +1,261 @@
+// Package wire implements the binary framing and primitive codecs used by
+// the FT-Cache RPC layer. It plays the role Mercury's encoding layer
+// played in the C++ artifact: fixed little-endian integers, length-
+// prefixed byte strings, and a compact frame header.
+//
+// Frame layout on the wire (all little-endian):
+//
+//	offset size field
+//	0      4    frame length (bytes after this field)
+//	4      2    magic 0xF7CA
+//	6      1    version (currently 1)
+//	7      1    type (Request | Response)
+//	8      8    request id
+//	16     2    opcode
+//	18     2    status (0 for requests)
+//	20     n    payload
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeRequest  = 1
+	TypeResponse = 2
+)
+
+// Magic identifies FT-Cache frames; a mismatch means a foreign or corrupt
+// stream and the connection must be dropped.
+const Magic = 0xF7CA
+
+// Version is the current protocol version.
+const Version = 1
+
+const headerLen = 16 // bytes after the length field
+
+// DefaultMaxPayload bounds a frame's payload to guard against corrupt
+// length prefixes. Large enough for one full cache object read.
+const DefaultMaxPayload = 64 << 20
+
+// Frame is one request or response message.
+type Frame struct {
+	Type    uint8
+	ID      uint64
+	Op      uint16
+	Status  uint16
+	Payload []byte
+}
+
+// Errors returned by frame parsing.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrFrameTooBig = errors.New("wire: frame exceeds max payload")
+	ErrShortFrame  = errors.New("wire: frame shorter than header")
+)
+
+// WriteFrame serializes f to w in a single Write call (one buffer) so
+// concurrent writers only need external mutual exclusion per frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := make([]byte, 4+headerLen+len(f.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(headerLen+len(f.Payload)))
+	binary.LittleEndian.PutUint16(buf[4:6], Magic)
+	buf[6] = Version
+	buf[7] = f.Type
+	binary.LittleEndian.PutUint64(buf[8:16], f.ID)
+	binary.LittleEndian.PutUint16(buf[16:18], f.Op)
+	binary.LittleEndian.PutUint16(buf[18:20], f.Status)
+	copy(buf[20:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r. maxPayload <= 0 selects
+// DefaultMaxPayload.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < headerLen {
+		return Frame{}, ErrShortFrame
+	}
+	if int(n)-headerLen > maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint16(body[0:2]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if body[2] != Version {
+		return Frame{}, ErrBadVersion
+	}
+	return Frame{
+		Type:    body[3],
+		ID:      binary.LittleEndian.Uint64(body[4:12]),
+		Op:      binary.LittleEndian.Uint16(body[12:14]),
+		Status:  binary.LittleEndian.Uint16(body[14:16]),
+		Payload: body[16:],
+	}, nil
+}
+
+// Buffer is an append-only encoder for message payloads.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer creates a Buffer with the given capacity hint.
+func NewBuffer(capacity int) *Buffer { return &Buffer{b: make([]byte, 0, capacity)} }
+
+// Bytes returns the encoded payload.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the current encoded length.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// U8 appends a byte.
+func (e *Buffer) U8(v uint8) *Buffer { e.b = append(e.b, v); return e }
+
+// U16 appends a little-endian uint16.
+func (e *Buffer) U16(v uint16) *Buffer {
+	e.b = binary.LittleEndian.AppendUint16(e.b, v)
+	return e
+}
+
+// U32 appends a little-endian uint32.
+func (e *Buffer) U32(v uint32) *Buffer {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+	return e
+}
+
+// U64 appends a little-endian uint64.
+func (e *Buffer) U64(v uint64) *Buffer {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+	return e
+}
+
+// I64 appends a little-endian int64 (two's complement).
+func (e *Buffer) I64(v int64) *Buffer { return e.U64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (e *Buffer) Bool(v bool) *Buffer {
+	if v {
+		return e.U8(1)
+	}
+	return e.U8(0)
+}
+
+// Bytes32 appends a uint32 length prefix followed by raw bytes.
+func (e *Buffer) Bytes32(v []byte) *Buffer {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+	return e
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Buffer) String(s string) *Buffer {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+	return e
+}
+
+// ErrTruncated indicates a payload ended before a field was complete.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// Reader decodes primitive fields from a payload with a sticky error:
+// after any failure every subsequent read returns zero values, so callers
+// can decode a whole struct and check Err once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps payload b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, or nil.
+func (d *Reader) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Reader) Remaining() int { return len(d.b) - d.off }
+
+func (d *Reader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.err = ErrTruncated
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (d *Reader) U8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Reader) U16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Reader) U32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Reader) U64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// I64 reads a little-endian int64.
+func (d *Reader) I64() int64 { return int64(d.U64()) }
+
+// Bool reads one byte as a boolean.
+func (d *Reader) Bool() bool { return d.U8() != 0 }
+
+// Bytes32 reads a uint32-length-prefixed byte slice. The returned slice
+// aliases the payload; callers that retain it must copy.
+func (d *Reader) Bytes32() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// String reads a length-prefixed string.
+func (d *Reader) String() string { return string(d.Bytes32()) }

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeRequest, ID: 1, Op: 7, Payload: []byte("hello")},
+		{Type: TypeResponse, ID: 1 << 60, Op: 65535, Status: 42, Payload: nil},
+		{Type: TypeRequest, ID: 0, Op: 0, Payload: bytes.Repeat([]byte{0xAB}, 1<<16)},
+	}
+	for _, f := range frames {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got.Type != f.Type || got.ID != f.ID || got.Op != f.Op || got.Status != f.Status {
+			t.Errorf("header mismatch: got %+v want %+v", got, f)
+		}
+		if !bytes.Equal(got.Payload, f.Payload) {
+			t.Errorf("payload mismatch: %d vs %d bytes", len(got.Payload), len(f.Payload))
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(id uint64, op, status uint16, payload []byte) bool {
+		in := Frame{Type: TypeRequest, ID: id, Op: op, Status: status, Payload: payload}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf, 0)
+		return err == nil && out.ID == id && out.Op == op && out.Status == status &&
+			bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsBadMagic(t *testing.T) {
+	f := Frame{Type: TypeRequest, ID: 1, Op: 2, Payload: []byte("x")}
+	var buf bytes.Buffer
+	WriteFrame(&buf, &f)
+	b := buf.Bytes()
+	b[4] ^= 0xFF // corrupt magic
+	if _, err := ReadFrame(bytes.NewReader(b), 0); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameRejectsBadVersion(t *testing.T) {
+	f := Frame{Type: TypeRequest, ID: 1, Op: 2}
+	var buf bytes.Buffer
+	WriteFrame(&buf, &f)
+	b := buf.Bytes()
+	b[6] = 99
+	if _, err := ReadFrame(bytes.NewReader(b), 0); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	f := Frame{Type: TypeRequest, ID: 1, Payload: make([]byte, 4096)}
+	var buf bytes.Buffer
+	WriteFrame(&buf, &f)
+	if _, err := ReadFrame(&buf, 1024); !errors.Is(err, ErrFrameTooBig) {
+		t.Errorf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestReadFrameRejectsShortLength(t *testing.T) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], 3) // < header length
+	if _, err := ReadFrame(bytes.NewReader(b[:]), 0); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Errorf("empty stream err = %v, want EOF", err)
+	}
+	// Truncated body.
+	f := Frame{Type: TypeRequest, ID: 9, Payload: []byte("abcdef")}
+	var buf bytes.Buffer
+	WriteFrame(&buf, &f)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(trunc), 0); err == nil {
+		t.Error("truncated frame should fail")
+	}
+}
+
+func TestBufferReaderRoundTrip(t *testing.T) {
+	e := NewBuffer(64)
+	e.U8(7).U16(300).U32(70000).U64(1 << 40).I64(-12345).Bool(true).Bool(false)
+	e.String("cosmoUniverse/train/u.tfrecord").Bytes32([]byte{1, 2, 3})
+
+	d := NewReader(e.Bytes())
+	if v := d.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if v := d.U16(); v != 300 {
+		t.Errorf("U16 = %d", v)
+	}
+	if v := d.U32(); v != 70000 {
+		t.Errorf("U32 = %d", v)
+	}
+	if v := d.U64(); v != 1<<40 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := d.I64(); v != -12345 {
+		t.Errorf("I64 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if s := d.String(); s != "cosmoUniverse/train/u.tfrecord" {
+		t.Errorf("String = %q", s)
+	}
+	if b := d.Bytes32(); !bytes.Equal(b, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", b)
+	}
+	if d.Err() != nil {
+		t.Errorf("unexpected error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	d := NewReader([]byte{1, 2}) // too short for U32
+	_ = d.U32()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Every later read must be a safe zero value.
+	if d.U64() != 0 || d.String() != "" || d.Bytes32() != nil || d.Bool() {
+		t.Error("reads after error should return zero values")
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Error("error must stay sticky")
+	}
+}
+
+func TestReaderTruncatedString(t *testing.T) {
+	e := NewBuffer(16)
+	e.String("hello world")
+	b := e.Bytes()[:6] // cut inside the string body
+	d := NewReader(b)
+	if s := d.String(); s != "" {
+		t.Errorf("truncated string decoded to %q", s)
+	}
+	if d.Err() == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestBufferQuickStrings(t *testing.T) {
+	f := func(a, b string, n uint32) bool {
+		e := NewBuffer(0)
+		e.String(a).U32(n).String(b)
+		d := NewReader(e.Bytes())
+		return d.String() == a && d.U32() == n && d.String() == b && d.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteFrame4K(b *testing.B) {
+	f := Frame{Type: TypeRequest, ID: 1, Op: 3, Payload: make([]byte, 4096)}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WriteFrame(io.Discard, &f)
+	}
+}
+
+func BenchmarkFrameRoundTrip4K(b *testing.B) {
+	f := Frame{Type: TypeRequest, ID: 1, Op: 3, Payload: make([]byte, 4096)}
+	var buf bytes.Buffer
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		WriteFrame(&buf, &f)
+		if _, err := ReadFrame(&buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

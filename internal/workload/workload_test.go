@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestCosmoFlowGeometry(t *testing.T) {
+	train := CosmoFlowTrain()
+	if train.NumFiles != 524288 {
+		t.Errorf("train files = %d, want 524288", train.NumFiles)
+	}
+	// ~1.3 TB total, as in the paper.
+	tb := float64(train.TotalBytes()) / 1e12
+	if tb < 1.2 || tb > 1.5 {
+		t.Errorf("train size = %.2f TB, want ~1.3", tb)
+	}
+	val := CosmoFlowValidation()
+	if val.NumFiles != 65536 {
+		t.Errorf("val files = %d, want 65536", val.NumFiles)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := CosmoFlowTrain()
+	s := d.Scaled(64)
+	if s.NumFiles != d.NumFiles/64 {
+		t.Errorf("scaled files = %d", s.NumFiles)
+	}
+	if s.FileBytes != d.FileBytes {
+		t.Error("scaling must preserve file size")
+	}
+	if !strings.Contains(s.Name, "/64") {
+		t.Errorf("scaled name = %q", s.Name)
+	}
+	// Degenerate factors.
+	if d.Scaled(0).NumFiles != d.NumFiles {
+		t.Error("factor < 1 should be treated as 1")
+	}
+	if d.Scaled(1<<30).NumFiles != 1 {
+		t.Error("over-scaling should clamp to 1 file")
+	}
+}
+
+func TestWithFileBytes(t *testing.T) {
+	d := CosmoFlowTrain().WithFileBytes(512)
+	if d.FileBytes != 512 || d.NumFiles != 524288 {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestFilePathStableAndUnique(t *testing.T) {
+	d := Dataset{Name: "t", Prefix: "p", NumFiles: 100, FileBytes: 10}
+	seen := map[string]bool{}
+	for i := 0; i < d.NumFiles; i++ {
+		p := d.FilePath(i)
+		if seen[p] {
+			t.Fatalf("duplicate path %q", p)
+		}
+		seen[p] = true
+		if !strings.HasPrefix(p, "p/") {
+			t.Fatalf("path %q missing prefix", p)
+		}
+	}
+	if d.FilePath(7) != d.FilePath(7) {
+		t.Error("paths must be stable")
+	}
+}
+
+func TestFilePathPanicsOutOfRange(t *testing.T) {
+	d := Dataset{NumFiles: 3}
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FilePath(%d) should panic", i)
+				}
+			}()
+			d.FilePath(i)
+		}()
+	}
+}
+
+func TestAllPaths(t *testing.T) {
+	d := Dataset{Prefix: "x", NumFiles: 5, FileBytes: 1}
+	paths := d.AllPaths()
+	if len(paths) != 5 {
+		t.Fatalf("len = %d", len(paths))
+	}
+	for i, p := range paths {
+		if p != d.FilePath(i) {
+			t.Errorf("paths[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSampleContentDeterministicAndDistinct(t *testing.T) {
+	d := Dataset{Prefix: "x", NumFiles: 4, FileBytes: 256}
+	a := d.SampleContent(0)
+	b := d.SampleContent(0)
+	if !bytes.Equal(a, b) {
+		t.Error("content must be deterministic")
+	}
+	if int64(len(a)) != d.FileBytes {
+		t.Errorf("content length = %d", len(a))
+	}
+	c := d.SampleContent(1)
+	if bytes.Equal(a, c) {
+		t.Error("different samples must differ")
+	}
+	// Content should not be trivially compressible (all zeros).
+	zeros := 0
+	for _, x := range a {
+		if x == 0 {
+			zeros++
+		}
+	}
+	if zeros > len(a)/2 {
+		t.Errorf("content looks degenerate: %d/%d zero bytes", zeros, len(a))
+	}
+}
+
+func TestStage(t *testing.T) {
+	d := Dataset{Prefix: "s", NumFiles: 8, FileBytes: 64}
+	pfs := storage.NewPFS()
+	n, err := d.Stage(pfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != d.TotalBytes() {
+		t.Errorf("staged %d bytes, want %d", n, d.TotalBytes())
+	}
+	objs, b := pfs.Stats()
+	if objs != 8 || b != 8*64 {
+		t.Errorf("pfs stats = %d, %d", objs, b)
+	}
+	got, err := pfs.Get(d.FilePath(3))
+	if err != nil || !bytes.Equal(got, d.SampleContent(3)) {
+		t.Errorf("staged content mismatch: %v", err)
+	}
+}
+
+func BenchmarkSampleContent(b *testing.B) {
+	d := Dataset{Prefix: "x", NumFiles: 1, FileBytes: 1 << 20}
+	b.SetBytes(d.FileBytes)
+	for i := 0; i < b.N; i++ {
+		d.SampleContent(0)
+	}
+}
