@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftcache"
+	"repro/internal/workload"
+)
+
+// hotpathConfig parameterizes the live concurrency benchmark.
+type hotpathConfig struct {
+	nodes     int
+	clients   int
+	files     int
+	fileBytes int64
+	duration  time.Duration
+	seed      int64
+}
+
+// runHotpath boots a live in-process cluster and hammers its read path
+// from many concurrent clients — the steady-state regime the lock-free
+// ring, the sharded NVMe and the pooled wire buffers are built for. It
+// prints aggregate reads/sec plus where the reads were served from, so
+// a before/after of the concurrency work is one command:
+//
+//	ftcbench -hotpath -clients 32 -duration 5s
+func runHotpath(cfg hotpathConfig) error {
+	if cfg.nodes < 1 {
+		return fmt.Errorf("-nodes must be >= 1 (got %d)", cfg.nodes)
+	}
+	if cfg.clients < 1 {
+		return fmt.Errorf("-clients must be >= 1 (got %d)", cfg.clients)
+	}
+	if cfg.files < 1 {
+		return fmt.Errorf("-files must be >= 1 (got %d)", cfg.files)
+	}
+	if cfg.fileBytes < 0 {
+		return fmt.Errorf("-filebytes must be >= 0 (got %d)", cfg.fileBytes)
+	}
+	c, err := core.NewCluster(core.ClusterConfig{
+		Nodes:    cfg.nodes,
+		Strategy: ftcache.KindNVMe,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ds := workload.Dataset{
+		Name:      "hotpath",
+		Prefix:    "hotpath",
+		NumFiles:  cfg.files,
+		FileBytes: cfg.fileBytes,
+	}
+	if _, err := c.Stage(ds); err != nil {
+		return err
+	}
+	// Warm every node's cache so the measurement is the steady state
+	// (NVMe hits over the transport), not first-epoch PFS faulting.
+	if err := c.WarmCache(ds); err != nil {
+		return err
+	}
+	c.FlushMovers()
+
+	fmt.Printf("hotpath: %d nodes, %d clients, %d files x %d B, %s\n",
+		cfg.nodes, cfg.clients, cfg.files, cfg.fileBytes, cfg.duration)
+
+	var (
+		reads atomic.Int64
+		bytes atomic.Int64
+		wg    sync.WaitGroup
+	)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	errCh := make(chan error, cfg.clients)
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		cli, _, err := c.NewClient()
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data, err := cli.Read(ctx, ds.FilePath(rng.Intn(cfg.files)))
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %w", w, err)
+					return
+				}
+				reads.Add(1)
+				bytes.Add(int64(len(data)))
+			}
+		}(w)
+	}
+	time.Sleep(cfg.duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	total := reads.Load()
+	var hits, misses int64
+	for _, n := range c.AliveNodes() {
+		h, m, _ := c.Server(n).NVMe().Counters()
+		hits += h
+		misses += m
+	}
+	fmt.Printf("  reads        %d\n", total)
+	fmt.Printf("  reads/sec    %.0f\n", float64(total)/elapsed.Seconds())
+	fmt.Printf("  MB/sec       %.1f\n", float64(bytes.Load())/1e6/elapsed.Seconds())
+	fmt.Printf("  nvme hits    %d (%.1f%%)\n", hits, pct(hits, hits+misses))
+	pfsReads, _, _ := c.PFS().Counters()
+	fmt.Printf("  pfs reads    %d\n", pfsReads)
+	return nil
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -25,7 +25,28 @@ func main() {
 	scaleName := flag.String("scale", "paper", "scale: paper|quick")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for each experiment")
+	hotpath := flag.Bool("hotpath", false, "drive a live in-process cluster at high concurrency and print reads/sec")
+	hpClients := flag.Int("clients", 16, "hotpath: concurrent client connections")
+	hpNodes := flag.Int("nodes", 4, "hotpath: server nodes")
+	hpFiles := flag.Int("files", 512, "hotpath: files in the working set")
+	hpFileBytes := flag.Int64("filebytes", 4096, "hotpath: bytes per file")
+	hpDuration := flag.Duration("duration", 3*time.Second, "hotpath: measurement window")
 	flag.Parse()
+
+	if *hotpath {
+		if err := runHotpath(hotpathConfig{
+			nodes:     *hpNodes,
+			clients:   *hpClients,
+			files:     *hpFiles,
+			fileBytes: *hpFileBytes,
+			duration:  *hpDuration,
+			seed:      *seed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

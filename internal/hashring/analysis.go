@@ -17,16 +17,16 @@ type Arc struct {
 // lowest virtual point. An empty ring yields nil; a single-point ring
 // yields one arc covering the full circle.
 func (r *Ring) Arcs() []Arc {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	n := len(r.points)
+	pts := r.snap.Load().points
+	n := len(pts)
 	if n == 0 {
 		return nil
 	}
 	arcs := make([]Arc, 0, n)
-	for i, p := range r.points {
-		prev := r.points[(i+n-1)%n].hash
+	prev := pts[n-1].hash
+	for _, p := range pts {
 		arcs = append(arcs, Arc{Start: prev, End: p.hash, Owner: p.node})
+		prev = p.hash
 	}
 	return arcs
 }
@@ -109,21 +109,31 @@ func (r *Ring) Balance() BalanceReport {
 // for a given virtual-node setting (actual receivers are further limited
 // by which arcs contain files).
 func (r *Ring) SuccessorMembers(failed NodeID) []NodeID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if _, ok := r.member[failed]; !ok {
+	s := r.snap.Load()
+	if _, ok := s.member[failed]; !ok {
 		return nil
 	}
-	n := len(r.points)
+	pts := s.points
+	n := len(pts)
 	seen := make(map[NodeID]struct{})
 	var out []NodeID
-	for i, p := range r.points {
+	for i, p := range pts {
 		if p.node != failed {
 			continue
 		}
-		// Walk clockwise from this failed point to the next surviving point.
-		for j := 1; j <= n; j++ {
-			q := r.points[(i+j)%n]
+		// Walk clockwise from this failed point to the next surviving
+		// point, resetting the index at the wrap instead of taking a
+		// modulo every step.
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		for steps := 0; steps < n; steps++ {
+			q := pts[j]
+			j++
+			if j == n {
+				j = 0
+			}
 			if q.node == failed {
 				continue
 			}

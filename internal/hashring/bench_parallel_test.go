@@ -1,0 +1,85 @@
+package hashring
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkRingOwnerParallel measures the contended hot path: every
+// training-batch I/O in every client goroutine performs one Owner lookup,
+// while membership stays constant (failures are rare). Run with -cpu 8 to
+// see how lookup throughput scales with cores.
+func BenchmarkRingOwnerParallel(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d/v=100", n), func(b *testing.B) {
+			r := NewWithNodes(Config{VirtualNodes: 100}, nodeNames(n))
+			keys := fileKeys(1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := r.Owner(keys[i&1023]); !ok {
+						b.Fail()
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRingOwnerParallelChurn is the same lookup load with a writer
+// repeatedly removing and re-adding one node, the worst realistic case
+// for the read path (failure + revive during full training traffic).
+func BenchmarkRingOwnerParallelChurn(b *testing.B) {
+	r := NewWithNodes(Config{VirtualNodes: 100}, nodeNames(64))
+	keys := fileKeys(1024)
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			r.Remove("node-0001")
+			r.Add("node-0001")
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			r.Owner(keys[i&1023])
+			i++
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+}
+
+// BenchmarkPlanRecache measures failure-time planning over a large key
+// population (the one write-path operation whose cost is user-visible:
+// it gates recache start after a node death).
+func BenchmarkPlanRecache(b *testing.B) {
+	nodes := nodeNames(128)
+	r := NewWithNodes(Config{VirtualNodes: 100}, nodes)
+	keys := fileKeys(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PlanRecache(nodes[i%128], keys)
+	}
+}
+
+// BenchmarkRingOwners measures the replica-placement walk.
+func BenchmarkRingOwners(b *testing.B) {
+	r := NewWithNodes(Config{VirtualNodes: 100}, nodeNames(64))
+	keys := fileKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owners(keys[i&1023], 3)
+	}
+}

@@ -9,9 +9,12 @@
 //
 // Two interchangeable implementations are provided:
 //
-//   - Ring: a sorted point slice with binary-search lookup — O(log P)
-//     lookups, O(P) membership change (P = total virtual points). This is
-//     the default and the fastest for the read-dominated cache path.
+//   - Ring: copy-on-write sorted point slices — lock-free O(log P)
+//     lookups against an immutable snapshot, O(P) membership change
+//     (P = total virtual points). This is the default and the fastest
+//     for the read-dominated cache path: Owner never takes a lock and
+//     never contends with other readers, no matter how many cores are
+//     issuing I/O.
 //   - TreeRing (llrb.go): a left-leaning red-black tree, the closest Go
 //     equivalent of the std::map the paper's C++ artifact used —
 //     O(log P) for both lookups and membership changes.
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xhash"
 )
@@ -64,16 +68,34 @@ type Config struct {
 // DefaultVirtualNodes is the paper's production virtual-node count.
 const DefaultVirtualNodes = 100
 
-// Ring is a consistent-hash ring backed by a sorted point slice.
-// It is safe for concurrent use: lookups take a read lock, membership
-// changes take a write lock. Membership changes are rare (node failures),
-// lookups happen on every I/O request.
-type Ring struct {
-	mu      sync.RWMutex
-	cfg     Config
+// ringSnapshot is one immutable published state of the ring. Nothing in a
+// snapshot is ever mutated after publication: membership changes build a
+// fresh snapshot (copying maps, merging or filtering into fresh point
+// slices) and atomically swap the pointer. Readers therefore see a
+// consistent state with no locks and no torn reads, and a lookup racing
+// a failure event simply answers from whichever state was current when
+// it loaded the pointer.
+type ringSnapshot struct {
 	points  []point             // sorted by (hash, node)
 	member  map[NodeID]struct{} // current physical nodes
 	weights map[NodeID]int      // per-node point counts for weighted members
+	nodes   []NodeID            // members in sorted order
+}
+
+var emptySnapshot = &ringSnapshot{
+	member:  map[NodeID]struct{}{},
+	weights: map[NodeID]int{},
+}
+
+// Ring is a consistent-hash ring backed by copy-on-write sorted point
+// slices. It is safe for concurrent use: lookups are lock-free reads of
+// an atomically published immutable snapshot; membership changes are
+// serialized by a writer mutex and publish a new snapshot. Membership
+// changes are rare (node failures), lookups happen on every I/O request.
+type Ring struct {
+	cfg     Config
+	writeMu sync.Mutex // serializes membership changes (writers only)
+	snap    atomic.Pointer[ringSnapshot]
 }
 
 // New creates an empty ring. A non-positive VirtualNodes falls back to
@@ -82,27 +104,31 @@ func New(cfg Config) *Ring {
 	if cfg.VirtualNodes <= 0 {
 		cfg.VirtualNodes = DefaultVirtualNodes
 	}
-	return &Ring{
-		cfg:     cfg,
-		member:  make(map[NodeID]struct{}),
-		weights: make(map[NodeID]int),
-	}
+	r := &Ring{cfg: cfg}
+	r.snap.Store(emptySnapshot)
+	return r
 }
 
 // NewWithNodes creates a ring pre-populated with nodes, sorting the
 // point set once (O(P log P)) instead of per-member.
 func NewWithNodes(cfg Config, nodes []NodeID) *Ring {
 	r := New(cfg)
+	s := &ringSnapshot{
+		member:  make(map[NodeID]struct{}, len(nodes)),
+		weights: map[NodeID]int{},
+	}
 	for _, n := range nodes {
-		if _, ok := r.member[n]; ok {
+		if _, ok := s.member[n]; ok {
 			continue
 		}
-		r.member[n] = struct{}{}
+		s.member[n] = struct{}{}
 		for _, h := range pointsFor(n, r.cfg.VirtualNodes, r.cfg.Seed) {
-			r.points = append(r.points, point{hash: h, node: n})
+			s.points = append(s.points, point{hash: h, node: n})
 		}
 	}
-	sortPoints(r.points)
+	sortPoints(s.points)
+	s.nodes = sortedMembers(s.member)
+	r.snap.Store(s)
 	return r
 }
 
@@ -115,6 +141,45 @@ func pointLessFn(a, b point) bool {
 
 func sortPoints(pts []point) {
 	sort.Slice(pts, func(i, j int) bool { return pointLessFn(pts[i], pts[j]) })
+}
+
+func sortedMembers(member map[NodeID]struct{}) []NodeID {
+	out := make([]NodeID, 0, len(member))
+	for n := range member {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// searchPoints returns the first index whose hash is >= h (len(pts) when
+// none is). It matches sort.Search's semantics for the predicate
+// pts[i].hash >= h, hand-rolled so the hot path pays neither the closure
+// call per probe nor the func-value indirection — just a branch-light
+// loop the compiler keeps in registers.
+func searchPoints(pts []point, h uint64) int {
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1) // avoids overflow, always in [lo, hi)
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ownerOf resolves h against an immutable snapshot's point slice.
+func ownerOf(pts []point, h uint64) (NodeID, bool) {
+	if len(pts) == 0 {
+		return "", false
+	}
+	i := searchPoints(pts, h)
+	if i == len(pts) {
+		i = 0 // wrap
+	}
+	return pts[i].node, true
 }
 
 // pointsFor derives the virtual point hashes for a node. The first point
@@ -140,71 +205,100 @@ func (r *Ring) KeyHash(key string) uint64 {
 	return keyHash(key, r.cfg.Seed)
 }
 
-// Add inserts node with its virtual points. Adding an existing member is
-// a no-op, so rejoin after a spurious failure detection is idempotent.
-func (r *Ring) Add(node NodeID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.member[node]; ok {
+// addPoints is the shared writer path of Add and AddWeighted: insert node
+// with v virtual points (weighted members record the count so Weight can
+// report it).
+func (r *Ring) addPoints(node NodeID, v int, weighted bool) {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	cur := r.snap.Load()
+	if _, ok := cur.member[node]; ok {
 		return
 	}
-	r.member[node] = struct{}{}
-	add := make([]point, 0, r.cfg.VirtualNodes)
-	for _, h := range pointsFor(node, r.cfg.VirtualNodes, r.cfg.Seed) {
+	add := make([]point, 0, v)
+	for _, h := range pointsFor(node, v, r.cfg.Seed) {
 		add = append(add, point{hash: h, node: node})
 	}
 	sortPoints(add)
-	// Linear merge of two sorted runs: O(P + V) per membership change
-	// instead of re-sorting the whole point set.
-	r.points = mergePoints(r.points, add)
+	next := &ringSnapshot{
+		// Linear merge of two sorted runs into a fresh slice: O(P + V)
+		// per membership change instead of re-sorting the whole set.
+		points:  mergePoints(cur.points, add),
+		member:  make(map[NodeID]struct{}, len(cur.member)+1),
+		weights: make(map[NodeID]int, len(cur.weights)+1),
+	}
+	for n := range cur.member {
+		next.member[n] = struct{}{}
+	}
+	for n, w := range cur.weights {
+		next.weights[n] = w
+	}
+	next.member[node] = struct{}{}
+	if weighted {
+		next.weights[node] = v
+	}
+	next.nodes = sortedMembers(next.member)
+	r.snap.Store(next)
+}
+
+// Add inserts node with its virtual points. Adding an existing member is
+// a no-op, so rejoin after a spurious failure detection is idempotent.
+func (r *Ring) Add(node NodeID) {
+	r.addPoints(node, r.cfg.VirtualNodes, false)
 }
 
 // Remove deletes node and all its virtual points. Removing a non-member
 // is a no-op. This is the operation the HVAC client performs when the
 // failure detector declares a server dead.
 func (r *Ring) Remove(node NodeID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.member[node]; !ok {
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	cur := r.snap.Load()
+	if _, ok := cur.member[node]; !ok {
 		return
 	}
-	delete(r.member, node)
-	delete(r.weights, node)
-	kept := r.points[:0]
-	for _, p := range r.points {
+	next := &ringSnapshot{
+		points:  filterPoints(cur.points, node),
+		member:  make(map[NodeID]struct{}, len(cur.member)-1),
+		weights: make(map[NodeID]int, len(cur.weights)),
+	}
+	for n := range cur.member {
+		if n != node {
+			next.member[n] = struct{}{}
+		}
+	}
+	for n, w := range cur.weights {
+		if n != node {
+			next.weights[n] = w
+		}
+	}
+	next.nodes = sortedMembers(next.member)
+	r.snap.Store(next)
+}
+
+// filterPoints returns a fresh sorted slice of pts minus node's points.
+// The input is never written: live snapshots share it.
+func filterPoints(pts []point, node NodeID) []point {
+	kept := make([]point, 0, len(pts))
+	for _, p := range pts {
 		if p.node != node {
 			kept = append(kept, p)
 		}
 	}
-	r.points = kept
+	return kept
 }
 
 // Owner returns the node owning key: the owner of the first ring point at
 // or clockwise-after the key's hash (wrapping around). ok is false when
-// the ring has no members.
+// the ring has no members. Lock-free: it binary-searches the current
+// immutable snapshot.
 func (r *Ring) Owner(key string) (NodeID, bool) {
-	h := r.KeyHash(key)
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.ownerOfHashLocked(h)
+	return ownerOf(r.snap.Load().points, r.KeyHash(key))
 }
 
 // OwnerOfHash returns the node owning an already-computed ring position.
 func (r *Ring) OwnerOfHash(h uint64) (NodeID, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.ownerOfHashLocked(h)
-}
-
-func (r *Ring) ownerOfHashLocked(h uint64) (NodeID, bool) {
-	if len(r.points) == 0 {
-		return "", false
-	}
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0 // wrap
-	}
-	return r.points[i].node, true
+	return ownerOf(r.snap.Load().points, h)
 }
 
 // Owners returns up to n distinct physical nodes encountered walking
@@ -212,19 +306,25 @@ func (r *Ring) ownerOfHashLocked(h uint64) (NodeID, bool) {
 // Used for replica placement experiments; ok is false on an empty ring.
 func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
 	h := r.KeyHash(key)
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.points) == 0 || n <= 0 {
+	pts := r.snap.Load().points
+	if len(pts) == 0 || n <= 0 {
 		return nil, false
 	}
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if start == len(r.points) {
+	start := searchPoints(pts, h)
+	if start == len(pts) {
 		start = 0
 	}
 	seen := make(map[NodeID]struct{}, n)
 	out := make([]NodeID, 0, n)
-	for i := 0; i < len(r.points) && len(out) < n; i++ {
-		p := r.points[(start+i)%len(r.points)]
+	// Walk with an explicit index reset at the wrap instead of a modulo
+	// per step: one predictable branch, not an integer division.
+	i := start
+	for steps := 0; steps < len(pts) && len(out) < n; steps++ {
+		p := pts[i]
+		i++
+		if i == len(pts) {
+			i = 0
+		}
 		if _, dup := seen[p.node]; dup {
 			continue
 		}
@@ -237,56 +337,33 @@ func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
 // Nodes returns the physical members in sorted order (stable for tests
 // and deterministic experiment output).
 func (r *Ring) Nodes() []NodeID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]NodeID, 0, len(r.member))
-	for n := range r.member {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]NodeID(nil), r.snap.Load().nodes...)
 }
 
 // Len returns the number of physical members.
 func (r *Ring) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.member)
+	return len(r.snap.Load().member)
 }
 
 // PointCount returns the number of virtual points currently on the ring.
 func (r *Ring) PointCount() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.points)
+	return len(r.snap.Load().points)
 }
 
 // Contains reports whether node is a current member.
 func (r *Ring) Contains(node NodeID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	_, ok := r.member[node]
+	_, ok := r.snap.Load().member[node]
 	return ok
 }
 
 // Clone returns an independent copy of the ring (same config, members and
-// points). Experiments use clones to explore failures without mutating
-// the shared ring.
+// points). Because snapshots are immutable, cloning is O(1): both rings
+// share the current snapshot until either changes membership.
+// Experiments use clones to explore failures without mutating the shared
+// ring.
 func (r *Ring) Clone() *Ring {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	c := &Ring{
-		cfg:     r.cfg,
-		member:  make(map[NodeID]struct{}, len(r.member)),
-		weights: make(map[NodeID]int, len(r.weights)),
-	}
-	c.points = append([]point(nil), r.points...)
-	for n := range r.member {
-		c.member[n] = struct{}{}
-	}
-	for n, w := range r.weights {
-		c.weights[n] = w
-	}
+	c := &Ring{cfg: r.cfg}
+	c.snap.Store(r.snap.Load())
 	return c
 }
 
@@ -309,19 +386,25 @@ type RecachePlan struct {
 // is not modified. It panics if failed is not a member, because planning
 // recaching for a node that is not on the ring indicates a bookkeeping
 // bug in the caller.
+//
+// One pass: the before state is the current snapshot, the after state is
+// the same point set minus the failed node's points, and each key is
+// hashed once and resolved against both slices — no ring clone, no
+// per-key locking, no second hash of the key.
 func (r *Ring) PlanRecache(failed NodeID, keys []string) RecachePlan {
-	if !r.Contains(failed) {
+	cur := r.snap.Load()
+	if _, ok := cur.member[failed]; !ok {
 		panic(fmt.Sprintf("hashring: PlanRecache for non-member %q", failed))
 	}
-	after := r.Clone()
-	after.Remove(failed)
+	after := filterPoints(cur.points, failed)
 	plan := RecachePlan{Failed: failed, Moves: make(map[NodeID][]string)}
 	for _, k := range keys {
-		owner, _ := r.Owner(k)
+		h := keyHash(k, r.cfg.Seed)
+		owner, _ := ownerOf(cur.points, h)
 		if owner != failed {
 			continue
 		}
-		newOwner, ok := after.Owner(k)
+		newOwner, ok := ownerOf(after, h)
 		if !ok {
 			continue // ring became empty; nothing can inherit
 		}

@@ -12,40 +12,28 @@ import "math"
 // is a standard member). Weights below minWeight are clamped so every
 // node keeps at least one point. Adding an existing member is a no-op.
 func (r *Ring) AddWeighted(node NodeID, weight float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.member[node]; ok {
-		return
-	}
 	v := int(math.Round(weight * float64(r.cfg.VirtualNodes)))
 	if v < 1 {
 		v = 1
 	}
-	r.member[node] = struct{}{}
-	r.weights[node] = v
-	add := make([]point, 0, v)
-	for _, h := range pointsFor(node, v, r.cfg.Seed) {
-		add = append(add, point{hash: h, node: node})
-	}
-	sortPoints(add)
-	r.points = mergePoints(r.points, add)
+	r.addPoints(node, v, true)
 }
 
 // Weight returns the effective virtual-point count of node (0 for
 // non-members).
 func (r *Ring) Weight(node NodeID) int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if _, ok := r.member[node]; !ok {
+	s := r.snap.Load()
+	if _, ok := s.member[node]; !ok {
 		return 0
 	}
-	if w, ok := r.weights[node]; ok {
+	if w, ok := s.weights[node]; ok {
 		return w
 	}
 	return r.cfg.VirtualNodes
 }
 
-// mergePoints merges two sorted point runs in O(len(a)+len(b)).
+// mergePoints merges two sorted point runs in O(len(a)+len(b)) into a
+// fresh slice; neither input is written (snapshots share them).
 func mergePoints(a, b []point) []point {
 	merged := make([]point, 0, len(a)+len(b))
 	i, j := 0, 0

@@ -15,6 +15,13 @@ import (
 // The queue is bounded; under overload new work is dropped (counted),
 // never blocking a read — a dropped recache only costs one more PFS trip
 // on a later epoch.
+//
+// When the mover is idle the fill is stored inline instead of queued: an
+// in-memory cache insert costs less than the scheduler handoff to a
+// worker, and landing the fill before the read response is sent closes
+// the window where fast concurrent readers re-miss the same object and
+// hammer the PFS with duplicate fetches. The queue only takes over when
+// a backlog exists, preserving the never-block-a-read guarantee.
 type Mover struct {
 	nvme *storage.NVMe
 	ch   chan moveJob
@@ -73,6 +80,15 @@ func (m *Mover) Enqueue(path string, data []byte) bool {
 		m.mu.Unlock()
 		m.dropped.Add(1)
 		return false
+	}
+	if m.inQ == 0 {
+		// Idle fast path: store synchronously. inQ stays untouched, so
+		// Flush sees nothing outstanding — the fill is already durable
+		// (in cache terms) by the time Enqueue returns.
+		m.mu.Unlock()
+		_ = m.nvme.Put(path, data) // ErrTooLarge: object can never cache
+		m.enqueued.Add(1)
+		return true
 	}
 	select {
 	case m.ch <- moveJob{path: path, data: data}:

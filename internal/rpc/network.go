@@ -3,8 +3,11 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // Network abstracts how cluster endpoints listen and dial so the same
@@ -35,9 +38,13 @@ func (TCPNetwork) Dial(name string) (net.Conn, error) {
 // ErrNoEndpoint reports a dial to a name nobody is listening on.
 var ErrNoEndpoint = errors.New("rpc: no such endpoint")
 
-// InprocNetwork connects clients and servers through synchronous pipes
-// inside one process. Every Listen registers a name; Dial hands the
-// listener one end of a net.Pipe.
+// InprocNetwork connects clients and servers through buffered in-process
+// pipes. Every Listen registers a name; Dial hands the listener one end
+// of a bufferedPipe pair. Unlike net.Pipe — whose unbuffered rendezvous
+// forces a writer/reader goroutine handoff per Write and serializes the
+// framed RPC hot path — writes complete immediately into a growable
+// buffer, so a request/response roundtrip costs two wakeups instead of
+// four scheduler rendezvous.
 type InprocNetwork struct {
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
@@ -73,7 +80,7 @@ func (n *InprocNetwork) Dial(name string) (net.Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, name)
 	}
-	client, server := net.Pipe()
+	client, server := newBufferedPipe(name)
 	select {
 	case l.accept <- server:
 		return client, nil
@@ -124,3 +131,165 @@ type inprocAddr string
 
 func (a inprocAddr) Network() string { return "inproc" }
 func (a inprocAddr) String() string  { return string(a) }
+
+// pipeHalf is one direction of a buffered in-process pipe: a growable
+// byte queue with exactly one writer conn and one reader conn. Reads
+// block on an empty queue; writes never block (the queue is unbounded —
+// the framed RPC protocol is request/response, so the amount in flight
+// is naturally bounded by outstanding calls).
+type pipeHalf struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	data []byte
+	off  int // read offset into data
+
+	wclosed bool // writer side closed: reads drain then io.EOF
+	rclosed bool // reader side closed: writes fail immediately
+
+	rexpired, wexpired bool // deadline state, one flag per conn using this half
+	rtimer, wtimer     *time.Timer
+}
+
+func newPipeHalf() *pipeHalf {
+	h := &pipeHalf{}
+	h.cond.L = &h.mu
+	return h
+}
+
+func (h *pipeHalf) read(b []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.rclosed {
+			return 0, io.ErrClosedPipe
+		}
+		if h.off < len(h.data) {
+			n := copy(b, h.data[h.off:])
+			h.off += n
+			if h.off == len(h.data) {
+				// Fully drained: reset so the backing array is reused
+				// instead of growing without bound.
+				h.data = h.data[:0]
+				h.off = 0
+			}
+			return n, nil
+		}
+		if h.wclosed {
+			return 0, io.EOF
+		}
+		if h.rexpired {
+			return 0, os.ErrDeadlineExceeded
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *pipeHalf) write(b []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.wexpired {
+		return 0, os.ErrDeadlineExceeded
+	}
+	if h.wclosed || h.rclosed {
+		return 0, io.ErrClosedPipe
+	}
+	h.data = append(h.data, b...)
+	h.cond.Broadcast()
+	return len(b), nil
+}
+
+func (h *pipeHalf) closeWrite() {
+	h.mu.Lock()
+	h.wclosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *pipeHalf) closeRead() {
+	h.mu.Lock()
+	h.rclosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// setDeadline arms one of the half's deadline flags. expired and timer
+// select the reader's or writer's pair; t.IsZero clears the deadline.
+func (h *pipeHalf) setDeadline(t time.Time, expired *bool, timer **time.Timer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if *timer != nil {
+		(*timer).Stop()
+		*timer = nil
+	}
+	*expired = false
+	if t.IsZero() {
+		return
+	}
+	d := time.Until(t)
+	if d <= 0 {
+		*expired = true
+		h.cond.Broadcast()
+		return
+	}
+	*timer = time.AfterFunc(d, func() {
+		h.mu.Lock()
+		*expired = true
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+}
+
+// bufferedPipe is one endpoint of an in-process duplex connection.
+type bufferedPipe struct {
+	rb, wb *pipeHalf // rb: peer→us, wb: us→peer
+	addr   inprocAddr
+}
+
+// newBufferedPipe returns the two connected endpoints of a fresh duplex
+// in-process connection.
+func newBufferedPipe(name string) (client, server net.Conn) {
+	c2s, s2c := newPipeHalf(), newPipeHalf()
+	a := inprocAddr(name)
+	return &bufferedPipe{rb: s2c, wb: c2s, addr: a},
+		&bufferedPipe{rb: c2s, wb: s2c, addr: a}
+}
+
+// Read implements net.Conn.
+func (p *bufferedPipe) Read(b []byte) (int, error) { return p.rb.read(b) }
+
+// Write implements net.Conn.
+func (p *bufferedPipe) Write(b []byte) (int, error) { return p.wb.write(b) }
+
+// Close implements net.Conn: our outbound half delivers EOF to the peer
+// once drained; our inbound half fails the peer's writes and wakes any of
+// our own blocked reads.
+func (p *bufferedPipe) Close() error {
+	p.wb.closeWrite()
+	p.rb.closeRead()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (p *bufferedPipe) LocalAddr() net.Addr { return p.addr }
+
+// RemoteAddr implements net.Conn.
+func (p *bufferedPipe) RemoteAddr() net.Addr { return p.addr }
+
+// SetDeadline implements net.Conn.
+func (p *bufferedPipe) SetDeadline(t time.Time) error {
+	p.SetReadDeadline(t)
+	p.SetWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (p *bufferedPipe) SetReadDeadline(t time.Time) error {
+	p.rb.setDeadline(t, &p.rb.rexpired, &p.rb.rtimer)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (p *bufferedPipe) SetWriteDeadline(t time.Time) error {
+	p.wb.setDeadline(t, &p.wb.wexpired, &p.wb.wtimer)
+	return nil
+}

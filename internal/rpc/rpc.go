@@ -44,6 +44,11 @@ var (
 // Handler processes one request and returns a status and response
 // payload. Handlers run concurrently; implementations must be
 // goroutine-safe.
+//
+// Buffer lifetime: payload aliases a pooled receive buffer that is
+// reused after the response has been written. A handler may slice it and
+// may return a resp that aliases it, but it must copy anything it
+// retains beyond its own return (e.g. bytes stored into a cache).
 type Handler interface {
 	Handle(op uint16, payload []byte) (status uint16, resp []byte)
 }
@@ -126,18 +131,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex
 	for {
-		f, err := wire.ReadFrame(conn, 0)
+		// The request body is leased from the wire buffer pool, so the
+		// steady-state receive path allocates nothing per frame. The lease
+		// is released once the handler has run and its response (which may
+		// alias the request payload) has been written.
+		f, lease, err := wire.ReadFramePooled(conn, 0)
 		if err != nil {
 			return
 		}
-		if f.Type != wire.TypeRequest {
+		if f.Type != wire.TypeRequest || s.unresponsive.Load() {
+			// Non-requests are ignored; in fault-injection mode requests
+			// are swallowed so the client observes a timeout.
+			lease.Release()
 			continue
-		}
-		if s.unresponsive.Load() {
-			continue // swallow the request: the fault-injection behaviour
 		}
 		req := f
 		go func() {
+			defer lease.Release()
 			status, resp := s.safeHandle(req.Op, req.Payload)
 			if s.unresponsive.Load() {
 				return // became unresponsive while handling
@@ -195,13 +205,32 @@ type pendingCall struct {
 	ch chan wire.Frame
 }
 
+// callPool recycles pendingCall structs (and their response channels)
+// across Calls. A pendingCall is only returned to the pool on the happy
+// path, after its single buffered response has been consumed: a call
+// that timed out or failed may still receive a late send or a close on
+// its channel, so those channels are abandoned to the GC instead.
+var callPool = sync.Pool{
+	New: func() any { return &pendingCall{ch: make(chan wire.Frame, 1)} },
+}
+
+func acquireCall() *pendingCall {
+	p := callPool.Get().(*pendingCall)
+	select { // defensive drain; the pool discipline should keep it empty
+	case <-p.ch:
+	default:
+	}
+	return p
+}
+
 // Client is a multiplexing RPC client over a single connection. Calls
 // may be issued concurrently from any goroutine.
 type Client struct {
 	conn   net.Conn
 	nextID atomic.Uint64
 
-	writeMu sync.Mutex
+	writeMu     sync.Mutex
+	deadlineSet bool // guarded by writeMu: last write armed a deadline
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingCall
@@ -259,7 +288,7 @@ func (c *Client) failAll(err error) {
 // distinguish "slow/silent node" from "connection refused" (ErrClosed).
 func (c *Client) Call(ctx context.Context, op uint16, payload []byte) (resp []byte, status uint16, err error) {
 	id := c.nextID.Add(1)
-	p := &pendingCall{ch: make(chan wire.Frame, 1)}
+	p := acquireCall()
 
 	c.mu.Lock()
 	if c.err != nil {
@@ -272,10 +301,15 @@ func (c *Client) Call(ctx context.Context, op uint16, payload []byte) (resp []by
 
 	f := wire.Frame{Type: wire.TypeRequest, ID: id, Op: op, Payload: payload}
 	c.writeMu.Lock()
+	// Only touch the conn deadline when this call needs one or the
+	// previous call left one armed: SetWriteDeadline is a timer dance on
+	// every conn type, and the steady-state hot path has no deadline.
 	if dl, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetWriteDeadline(dl)
-	} else {
+		c.deadlineSet = true
+	} else if c.deadlineSet {
 		_ = c.conn.SetWriteDeadline(time.Time{})
+		c.deadlineSet = false
 	}
 	werr := wire.WriteFrame(c.conn, &f)
 	c.writeMu.Unlock()
@@ -294,6 +328,9 @@ func (c *Client) Call(ctx context.Context, op uint16, payload []byte) (resp []by
 		if !ok {
 			return nil, 0, c.terminalErr()
 		}
+		// Happy path: the readLoop removed id from pending before the
+		// send, so no further send or close can reach this channel.
+		callPool.Put(p)
 		return got.Payload, got.Status, nil
 	case <-ctx.Done():
 		c.mu.Lock()

@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkNVMeParallel measures the server-side cache under concurrent
+// client load: mostly Gets with a Put mixed in every 16 ops, over a
+// working set that fits in capacity. Run with -cpu 8 to see scaling.
+func BenchmarkNVMeParallel(b *testing.B) {
+	n := NewNVMe(1 << 30)
+	data := make([]byte, 4096)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cosmoUniverse/train/univ_%06d.tfrecord", i)
+		n.Put(keys[i], data)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i&1023]
+			if i&15 == 0 {
+				n.Put(k, data)
+			} else {
+				n.Get(k)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkNVMeParallelEviction measures the cache under insert pressure:
+// capacity holds only half the working set, so Puts continuously evict.
+func BenchmarkNVMeParallelEviction(b *testing.B) {
+	n := NewNVMe(512 * 4096)
+	data := make([]byte, 4096)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cosmoUniverse/train/univ_%06d.tfrecord", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i&1023]
+			if i&3 == 0 {
+				n.Put(k, data)
+			} else {
+				n.Get(k)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkPFSParallel measures the shared store under concurrent reads,
+// the access pattern of a whole job faulting in its first epoch.
+func BenchmarkPFSParallel(b *testing.B) {
+	p := NewPFS()
+	data := make([]byte, 4096)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cosmoUniverse/train/univ_%06d.tfrecord", i)
+		p.Put(keys[i], data)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p.Get(keys[i&1023])
+			i++
+		}
+	})
+}

@@ -8,6 +8,15 @@
 //     key observable in the paper's experiments (each strategy is
 //     distinguished by *how often it goes back to the PFS*).
 //
+// Both stores are sharded: object paths hash onto independent
+// lock-protected shards so concurrent requests from many client
+// goroutines contend only when they land on the same shard, not on one
+// global mutex. The NVMe cache keeps a single global capacity budget
+// (an atomic counter) across its shards, so the byte bound and the
+// ErrTooLarge rule are identical to an unsharded cache; only the LRU
+// victim order becomes per-shard-approximate when more than one shard is
+// configured (shards=1 preserves exact global LRU for tests).
+//
 // Functional behaviour (what is stored where) is separated from
 // performance behaviour: device *models* in device.go turn byte counts
 // and concurrency into service times for the discrete-event simulator,
@@ -21,6 +30,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/xhash"
 )
 
 // Common store errors.
@@ -46,19 +57,42 @@ type Store interface {
 	Stats() (objects int, bytes int64)
 }
 
+// DefaultNVMeShards is the shard count NewNVMe uses: enough to spread a
+// busy node's request goroutines (one per in-flight RPC) across
+// independent locks without bloating the per-store footprint.
+const DefaultNVMeShards = 16
+
+// shardSeed decorrelates the shard-pick hash from the consistent-hash
+// ring's key hash so ring placement does not concentrate a node's keys
+// onto few shards.
+const shardSeed = 0x9E3779B97F4A7C15
+
 // NVMe is the node-local cache store: bounded capacity with LRU eviction
 // on insert pressure (the cache holds a *replaceable copy* of PFS data,
 // so evicting is always safe).
+//
+// Internally the key space is hashed across shards, each with its own
+// mutex, map and LRU list. Capacity is a single global byte budget: an
+// insert that pushes the total over capacity evicts least-recently-used
+// objects from its own shard first, then spills to the other shards —
+// taking one shard lock at a time, so there is no lock ordering to
+// deadlock on.
 type NVMe struct {
-	mu       sync.Mutex
 	capacity int64
-	used     int64
-	items    map[string]*list.Element
-	lru      *list.List // front = most recently used
+	used     atomic.Int64
+	shards   []nvmeShard
+	mask     uint64
 
 	evictions atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
+}
+
+type nvmeShard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+	_     [40]byte   // pad to a cache line so shard locks don't false-share
 }
 
 type nvmeEntry struct {
@@ -66,14 +100,39 @@ type nvmeEntry struct {
 	data []byte
 }
 
-// NewNVMe creates a store with the given byte capacity. capacity <= 0
-// means unbounded (useful in unit tests).
+// NewNVMe creates a store with the given byte capacity and
+// DefaultNVMeShards shards. capacity <= 0 means unbounded (useful in
+// unit tests).
 func NewNVMe(capacity int64) *NVMe {
-	return &NVMe{
-		capacity: capacity,
-		items:    make(map[string]*list.Element),
-		lru:      list.New(),
+	return NewNVMeShards(capacity, DefaultNVMeShards)
+}
+
+// NewNVMeShards creates a store with an explicit shard count (rounded up
+// to a power of two; non-positive selects DefaultNVMeShards). shards=1
+// gives the exact global LRU order of an unsharded cache, which the
+// eviction-order tests rely on.
+func NewNVMeShards(capacity int64, shards int) *NVMe {
+	if shards <= 0 {
+		shards = DefaultNVMeShards
 	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &NVMe{
+		capacity: capacity,
+		shards:   make([]nvmeShard, n),
+		mask:     uint64(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*list.Element)
+		s.shards[i].lru = list.New()
+	}
+	return s
+}
+
+func (n *NVMe) shardFor(path string) *nvmeShard {
+	return &n.shards[xhash.XXH64String(path, shardSeed)&n.mask]
 }
 
 // Put implements Store, evicting least-recently-used objects as needed.
@@ -82,71 +141,127 @@ func (n *NVMe) Put(path string, data []byte) error {
 	if n.capacity > 0 && size > n.capacity {
 		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, n.capacity)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if el, ok := n.items[path]; ok {
+	sh := n.shardFor(path)
+	sh.mu.Lock()
+	var kept *list.Element
+	if el, ok := sh.items[path]; ok {
 		old := el.Value.(*nvmeEntry)
-		n.used -= int64(len(old.data))
+		n.used.Add(size - int64(len(old.data)))
 		old.data = data
-		n.used += size
-		n.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
+		kept = el
 	} else {
-		el := n.lru.PushFront(&nvmeEntry{path: path, data: data})
-		n.items[path] = el
-		n.used += size
+		kept = sh.lru.PushFront(&nvmeEntry{path: path, data: data})
+		sh.items[path] = kept
+		n.used.Add(size)
 	}
-	for n.capacity > 0 && n.used > n.capacity {
-		tail := n.lru.Back()
-		if tail == nil {
-			break
-		}
-		ent := tail.Value.(*nvmeEntry)
-		n.lru.Remove(tail)
-		delete(n.items, ent.path)
-		n.used -= int64(len(ent.data))
-		n.evictions.Add(1)
+	if n.capacity > 0 {
+		n.evictShardLocked(sh, kept)
+	}
+	sh.mu.Unlock()
+	if n.capacity > 0 && n.used.Load() > n.capacity {
+		n.evictSpill(sh, kept)
 	}
 	return nil
 }
 
+// evictShardLocked evicts LRU-order objects from sh (whose lock the
+// caller holds) until the global budget is met or only keep remains.
+func (n *NVMe) evictShardLocked(sh *nvmeShard, keep *list.Element) {
+	for n.used.Load() > n.capacity {
+		tail := sh.lru.Back()
+		if tail != nil && tail == keep {
+			// Never evict the object that was just inserted — the point
+			// of the Put is for it to be cached; spill to other shards.
+			tail = tail.Prev()
+		}
+		if tail == nil {
+			return
+		}
+		ent := tail.Value.(*nvmeEntry)
+		sh.lru.Remove(tail)
+		delete(sh.items, ent.path)
+		n.used.Add(-int64(len(ent.data)))
+		n.evictions.Add(1)
+	}
+}
+
+// evictSpill walks the other shards (one lock at a time) evicting their
+// LRU tails until the global budget is met. from is the shard whose
+// insert overflowed; it is revisited last with its keep element still
+// protected, so a full cycle can evict everything except the newest
+// object — at which point used == len(new object) <= capacity.
+func (n *NVMe) evictSpill(from *nvmeShard, keep *list.Element) {
+	start := 0
+	for i := range n.shards {
+		if &n.shards[i] == from {
+			start = i
+			break
+		}
+	}
+	for off := 1; off <= len(n.shards); off++ {
+		if n.used.Load() <= n.capacity {
+			return
+		}
+		sh := &n.shards[(start+off)&int(n.mask)]
+		k := keep
+		if sh != from {
+			k = nil
+		}
+		sh.mu.Lock()
+		n.evictShardLocked(sh, k)
+		sh.mu.Unlock()
+	}
+}
+
 // Get implements Store and refreshes recency on hit.
 func (n *NVMe) Get(path string) ([]byte, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	el, ok := n.items[path]
+	sh := n.shardFor(path)
+	sh.mu.Lock()
+	el, ok := sh.items[path]
 	if !ok {
+		sh.mu.Unlock()
 		n.misses.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
+	sh.lru.MoveToFront(el)
+	data := el.Value.(*nvmeEntry).data
+	sh.mu.Unlock()
 	n.hits.Add(1)
-	n.lru.MoveToFront(el)
-	return el.Value.(*nvmeEntry).data, nil
+	return data, nil
 }
 
 // Has implements Store without perturbing recency or hit counters.
 func (n *NVMe) Has(path string) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	_, ok := n.items[path]
+	sh := n.shardFor(path)
+	sh.mu.Lock()
+	_, ok := sh.items[path]
+	sh.mu.Unlock()
 	return ok
 }
 
 // Delete implements Store.
 func (n *NVMe) Delete(path string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if el, ok := n.items[path]; ok {
-		n.used -= int64(len(el.Value.(*nvmeEntry).data))
-		n.lru.Remove(el)
-		delete(n.items, path)
+	sh := n.shardFor(path)
+	sh.mu.Lock()
+	if el, ok := sh.items[path]; ok {
+		n.used.Add(-int64(len(el.Value.(*nvmeEntry).data)))
+		sh.lru.Remove(el)
+		delete(sh.items, path)
 	}
+	sh.mu.Unlock()
 }
 
 // Stats implements Store.
 func (n *NVMe) Stats() (int, int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.items), n.used
+	objects := 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		objects += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return objects, n.used.Load()
 }
 
 // Counters returns cumulative hit/miss/eviction counts.
@@ -158,51 +273,82 @@ func (n *NVMe) Counters() (hits, misses, evictions int64) {
 func (n *NVMe) Capacity() int64 { return n.capacity }
 
 // Clear drops every object — used to model losing a node's cache when
-// the node "fails" and later rejoins empty.
+// the node "fails" and later rejoins empty. Shards are cleared one at a
+// time; the byte budget is decremented per shard so a concurrent Put
+// keeps a consistent view.
 func (n *NVMe) Clear() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.items = make(map[string]*list.Element)
-	n.lru.Init()
-	n.used = 0
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		var bytes int64
+		for _, el := range sh.items {
+			bytes += int64(len(el.Value.(*nvmeEntry).data))
+		}
+		sh.items = make(map[string]*list.Element)
+		sh.lru.Init()
+		n.used.Add(-bytes)
+		sh.mu.Unlock()
+	}
 }
+
+// DefaultPFSShards spreads the shared store's read traffic — every node
+// of a job faulting in its first epoch hits the same PFS — across
+// independent read-write locks.
+const DefaultPFSShards = 16
 
 // PFS is the shared parallel file system: the durable home of the
 // training dataset. It counts reads and metadata operations because the
-// paper's whole argument is about minimizing them.
+// paper's whole argument is about minimizing them. The object map is
+// sharded by path hash; counters are global atomics.
 type PFS struct {
-	mu    sync.RWMutex
-	items map[string][]byte
-	bytes int64
+	shards []pfsShard
+	mask   uint64
+	bytes  atomic.Int64
 
 	reads       atomic.Int64
 	readBytes   atomic.Int64
 	metadataOps atomic.Int64
 }
 
-// NewPFS creates an empty PFS.
+type pfsShard struct {
+	mu    sync.RWMutex
+	items map[string][]byte
+	_     [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// NewPFS creates an empty PFS with DefaultPFSShards shards.
 func NewPFS() *PFS {
-	return &PFS{items: make(map[string][]byte)}
+	p := &PFS{shards: make([]pfsShard, DefaultPFSShards), mask: DefaultPFSShards - 1}
+	for i := range p.shards {
+		p.shards[i].items = make(map[string][]byte)
+	}
+	return p
+}
+
+func (p *PFS) shardFor(path string) *pfsShard {
+	return &p.shards[xhash.XXH64String(path, shardSeed)&p.mask]
 }
 
 // Put implements Store (dataset staging, done before training).
 func (p *PFS) Put(path string, data []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if old, ok := p.items[path]; ok {
-		p.bytes -= int64(len(old))
+	sh := p.shardFor(path)
+	sh.mu.Lock()
+	if old, ok := sh.items[path]; ok {
+		p.bytes.Add(-int64(len(old)))
 	}
-	p.items[path] = data
-	p.bytes += int64(len(data))
+	sh.items[path] = data
+	p.bytes.Add(int64(len(data)))
+	sh.mu.Unlock()
 	return nil
 }
 
 // Get implements Store, counting one metadata op and one read.
 func (p *PFS) Get(path string) ([]byte, error) {
 	p.metadataOps.Add(1)
-	p.mu.RLock()
-	data, ok := p.items[path]
-	p.mu.RUnlock()
+	sh := p.shardFor(path)
+	sh.mu.RLock()
+	data, ok := sh.items[path]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
 	}
@@ -214,27 +360,34 @@ func (p *PFS) Get(path string) ([]byte, error) {
 // Has implements Store, counting one metadata op.
 func (p *PFS) Has(path string) bool {
 	p.metadataOps.Add(1)
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	_, ok := p.items[path]
+	sh := p.shardFor(path)
+	sh.mu.RLock()
+	_, ok := sh.items[path]
+	sh.mu.RUnlock()
 	return ok
 }
 
 // Delete implements Store.
 func (p *PFS) Delete(path string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if old, ok := p.items[path]; ok {
-		p.bytes -= int64(len(old))
-		delete(p.items, path)
+	sh := p.shardFor(path)
+	sh.mu.Lock()
+	if old, ok := sh.items[path]; ok {
+		p.bytes.Add(-int64(len(old)))
+		delete(sh.items, path)
 	}
+	sh.mu.Unlock()
 }
 
 // Stats implements Store.
 func (p *PFS) Stats() (int, int64) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.items), p.bytes
+	objects := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		objects += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return objects, p.bytes.Load()
 }
 
 // Counters returns cumulative read count, read bytes, and metadata ops.

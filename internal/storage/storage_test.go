@@ -52,7 +52,8 @@ func TestNVMeDelete(t *testing.T) {
 }
 
 func TestNVMeLRUEviction(t *testing.T) {
-	n := NewNVMe(100)
+	// One shard: exact global LRU order, so the victim is deterministic.
+	n := NewNVMeShards(100, 1)
 	n.Put("a", make([]byte, 40))
 	n.Put("b", make([]byte, 40))
 	// Touch "a" so "b" is the LRU victim.

@@ -18,9 +18,23 @@ func FuzzReadFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data), 1<<20)
+		// The buffer-lease decode path must agree with the allocating
+		// path on every input: same error or same frame.
+		pfr, lease, perr := ReadFramePooled(bytes.NewReader(data), 1<<20)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("decode paths disagree: plain err=%v pooled err=%v", err, perr)
+		}
 		if err != nil {
+			if lease != nil {
+				t.Fatal("pooled decode returned a lease alongside an error")
+			}
 			return
 		}
+		if pfr.ID != fr.ID || pfr.Op != fr.Op || pfr.Type != fr.Type ||
+			pfr.Status != fr.Status || !bytes.Equal(pfr.Payload, fr.Payload) {
+			t.Fatal("pooled decode mismatch")
+		}
+		lease.Release()
 		// A successfully parsed frame must round-trip.
 		var out bytes.Buffer
 		if werr := WriteFrame(&out, &fr); werr != nil {

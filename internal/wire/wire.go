@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Frame types.
@@ -59,10 +60,55 @@ var (
 	ErrShortFrame  = errors.New("wire: frame shorter than header")
 )
 
+// Buf is a leased frame-body buffer from the package pool. Release
+// returns it for reuse; after Release the bytes (and any Frame.Payload
+// aliasing them) must no longer be touched. The zero-value rule for
+// safety: every ReadFramePooled success pairs with exactly one Release.
+type Buf struct {
+	b []byte
+}
+
+// Bytes returns the leased bytes (the frame body after the length field).
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Release returns the buffer to the pool. Double-release is a no-op.
+// Oversized buffers (above maxPooledBuf) are dropped instead of pooled
+// so one giant frame cannot pin memory for the process lifetime.
+func (b *Buf) Release() {
+	if b == nil || b.b == nil {
+		return
+	}
+	if cap(b.b) > maxPooledBuf {
+		b.b = nil // let the GC take the oversized backing array
+		return
+	}
+	b.b = b.b[:0]
+	bufPool.Put(b)
+}
+
+// bufPool recycles frame encode/decode buffers.
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+const maxPooledBuf = 1 << 20
+
+func acquireBuf(n int) *Buf {
+	b := bufPool.Get().(*Buf)
+	if cap(b.b) < n {
+		b.b = make([]byte, n)
+	} else {
+		b.b = b.b[:n]
+	}
+	return b
+}
+
 // WriteFrame serializes f to w in a single Write call (one buffer) so
-// concurrent writers only need external mutual exclusion per frame.
+// concurrent writers only need external mutual exclusion per frame. The
+// encode buffer comes from an internal pool, so steady-state framing does
+// not allocate; w must not retain the slice past the Write call (no
+// net.Conn or bytes.Buffer does).
 func WriteFrame(w io.Writer, f *Frame) error {
-	buf := make([]byte, 4+headerLen+len(f.Payload))
+	bp := acquireBuf(4 + headerLen + len(f.Payload))
+	buf := bp.b
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(headerLen+len(f.Payload)))
 	binary.LittleEndian.PutUint16(buf[4:6], Magic)
 	buf[6] = Version
@@ -72,43 +118,103 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	binary.LittleEndian.PutUint16(buf[18:20], f.Status)
 	copy(buf[20:], f.Payload)
 	_, err := w.Write(buf)
+	bp.Release()
 	return err
 }
 
-// ReadFrame reads one frame from r. maxPayload <= 0 selects
-// DefaultMaxPayload.
-func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+// readHeader reads and validates the length prefix and fixed header into
+// hdr (which must be 4+headerLen bytes of pooled or otherwise long-lived
+// memory, so the interface call to r does not force a per-frame heap
+// allocation), returning the payload byte count still unread on r.
+func readHeader(r io.Reader, maxPayload int, hdr []byte, f *Frame) (int, error) {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxPayload
 	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Frame{}, err
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
+	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n < headerLen {
-		return Frame{}, ErrShortFrame
+		return 0, ErrShortFrame
 	}
 	if int(n)-headerLen > maxPayload {
-		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if _, err := io.ReadFull(r, hdr[4:4+headerLen]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	if binary.LittleEndian.Uint16(hdr[4:6]) != Magic {
+		return 0, ErrBadMagic
+	}
+	if hdr[6] != Version {
+		return 0, ErrBadVersion
+	}
+	f.Type = hdr[7]
+	f.ID = binary.LittleEndian.Uint64(hdr[8:16])
+	f.Op = binary.LittleEndian.Uint16(hdr[16:18])
+	f.Status = binary.LittleEndian.Uint16(hdr[18:20])
+	return int(n) - headerLen, nil
+}
+
+// ReadFrame reads one frame from r. maxPayload <= 0 selects
+// DefaultMaxPayload. The returned payload is freshly allocated and owned
+// by the caller — use this on paths that hand the payload to application
+// code (e.g. the RPC client's response loop). It performs exactly one
+// allocation per non-empty frame: the payload itself.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	var f Frame
+	hp := acquireBuf(4 + headerLen)
+	n, err := readHeader(r, maxPayload, hp.b, &f)
+	hp.Release()
+	if err != nil {
 		return Frame{}, err
 	}
-	if binary.LittleEndian.Uint16(body[0:2]) != Magic {
-		return Frame{}, ErrBadMagic
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
 	}
-	if body[2] != Version {
-		return Frame{}, ErrBadVersion
+	return f, nil
+}
+
+// ReadFramePooled reads one frame whose payload is leased from the
+// package buffer pool: the steady-state receive path of a server does
+// zero per-frame allocations. Frame.Payload aliases the lease; the caller
+// must call Release exactly once, after it is done with the payload (and
+// after anything derived from it that still aliases it). On error the
+// lease is already released and the returned *Buf is nil.
+func ReadFramePooled(r io.Reader, maxPayload int) (Frame, *Buf, error) {
+	var f Frame
+	bp := acquireBuf(4 + headerLen)
+	n, err := readHeader(r, maxPayload, bp.b, &f)
+	if err != nil {
+		bp.Release()
+		return Frame{}, nil, err
 	}
-	return Frame{
-		Type:    body[3],
-		ID:      binary.LittleEndian.Uint64(body[4:12]),
-		Op:      binary.LittleEndian.Uint16(body[12:14]),
-		Status:  binary.LittleEndian.Uint16(body[14:16]),
-		Payload: body[16:],
-	}, nil
+	// Reuse the lease for the payload now that the header is parsed.
+	if cap(bp.b) < n {
+		bp.b = make([]byte, n)
+	} else {
+		bp.b = bp.b[:n]
+	}
+	if n > 0 {
+		if _, err := io.ReadFull(r, bp.b); err != nil {
+			bp.Release()
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, nil, err
+		}
+	}
+	f.Payload = bp.b
+	return f, bp, nil
 }
 
 // Buffer is an append-only encoder for message payloads.
