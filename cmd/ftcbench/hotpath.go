@@ -129,6 +129,11 @@ func runHotpath(cfg hotpathConfig) error {
 	fmt.Printf("  nvme hits    %d (%.1f%%)\n", hits, pct(hits, hits+misses))
 	pfsReads, _, _ := c.PFS().Counters()
 	fmt.Printf("  pfs reads    %d\n", pfsReads)
+	if lat := readLatencySnapshot(); lat.Count > 0 {
+		fmt.Printf("  read p50     %s\n", fmtDur(lat.Quantile(0.5)))
+		fmt.Printf("  read p99     %s\n", fmtDur(lat.Quantile(0.99)))
+	}
+	printTelemetrySummary()
 	return nil
 }
 

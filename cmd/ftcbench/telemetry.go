@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// readLatencySnapshot returns the process-wide client read-latency
+// histogram. The handle is shared with the hvac package (same name, same
+// registry), so this sees exactly what the benchmark clients observed.
+func readLatencySnapshot() telemetry.HistogramSnapshot {
+	return telemetry.Default().Histogram("ftc_client_read_latency_seconds").Snapshot()
+}
+
+// printTelemetrySummary dumps every non-zero series in the Default
+// registry as a fixed-width table — the ftcbench flavor of /metrics, so
+// a benchmark run ends with the same observables a scrape would show.
+func printTelemetrySummary() {
+	snap := telemetry.Default().Snapshot()
+	sort.SliceStable(snap, func(i, j int) bool {
+		if snap[i].Name != snap[j].Name {
+			return snap[i].Name < snap[j].Name
+		}
+		return snap[i].Labels < snap[j].Labels
+	})
+	fmt.Println("telemetry:")
+	fmt.Printf("  %-44s %-10s %s\n", "series", "kind", "value")
+	for _, mv := range snap {
+		name := mv.Name
+		if mv.Labels != "" {
+			name += "{" + mv.Labels + "}"
+		}
+		if mv.Hist != nil {
+			if mv.Hist.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-44s %-10s count=%d p50=%s p99=%s mean=%s\n",
+				name, mv.Kind, mv.Hist.Count,
+				fmtDur(mv.Hist.Quantile(0.5)), fmtDur(mv.Hist.Quantile(0.99)), fmtDur(mv.Hist.Mean()))
+			continue
+		}
+		if mv.Value == 0 {
+			continue
+		}
+		fmt.Printf("  %-44s %-10s %d\n", name, mv.Kind, mv.Value)
+	}
+}
+
+// fmtDur renders a float nanosecond quantity at a readable scale.
+func fmtDur(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/hvac"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	capacity := flag.Int64("nvme-capacity", 0, "cache capacity in bytes (0 = unbounded)")
 	queue := flag.Int("mover-queue", 256, "data-mover queue depth")
 	workers := flag.Int("mover-workers", 2, "data-mover worker count")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /debug/ftcache on this address (e.g. :9090; empty = disabled)")
 	flag.Parse()
 
 	if *pfsDir == "" {
@@ -54,6 +57,15 @@ func main() {
 		log.Fatalf("ftcserver: listen %s: %v", *listen, err)
 	}
 	log.Printf("ftcserver: node %s serving on %s, PFS root %s", *node, lis.Addr(), pfs.Root())
+
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("ftcserver: telemetry on http://%s/metrics and /debug/ftcache", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, telemetry.Handler(telemetry.Default())); err != nil {
+				log.Printf("ftcserver: telemetry server: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -15,9 +15,39 @@ package cluster
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/hashring"
+	"repro/internal/telemetry"
 )
+
+// detectorMetrics aggregate detection observables across every Tracker
+// in the process (one per client rank; they detect independently, and
+// the paper's detection-latency claim is about the distribution).
+type detectorMetrics struct {
+	suspected     *telemetry.Counter   // Alive → Suspect transitions
+	declared      *telemetry.Counter   // Suspect → Failed declarations
+	resets        *telemetry.Counter   // suspicion cleared by a success
+	suspectToDead *telemetry.Histogram // first timeout → declaration latency
+}
+
+var (
+	detMetricsOnce sync.Once
+	detMetricsInst *detectorMetrics
+)
+
+func detMetrics() *detectorMetrics {
+	detMetricsOnce.Do(func() {
+		reg := telemetry.Default()
+		detMetricsInst = &detectorMetrics{
+			suspected:     reg.Counter("ftc_detect_suspected_total"),
+			declared:      reg.Counter("ftc_detect_declared_dead_total"),
+			resets:        reg.Counter("ftc_detect_suspect_resets_total"),
+			suspectToDead: reg.Histogram("ftc_detect_suspect_to_dead_seconds"),
+		}
+	})
+	return detMetricsInst
+}
 
 // NodeID aliases the cluster-wide node identifier.
 type NodeID = hashring.NodeID
@@ -63,7 +93,8 @@ type Tracker struct {
 	mu        sync.Mutex
 	counts    map[NodeID]int
 	failed    map[NodeID]bool
-	members   []NodeID // sorted, fixed at construction
+	suspectAt map[NodeID]time.Time // first-timeout instant, while suspect
+	members   []NodeID             // sorted, fixed at construction
 	memberSet map[NodeID]bool
 	listeners []func(NodeID)
 	// recovery listeners fire when a failed node is explicitly revived
@@ -81,6 +112,7 @@ func NewTracker(nodes []NodeID, limit int) *Tracker {
 		limit:     limit,
 		counts:    make(map[NodeID]int, len(nodes)),
 		failed:    make(map[NodeID]bool),
+		suspectAt: make(map[NodeID]time.Time),
 		memberSet: make(map[NodeID]bool, len(nodes)),
 	}
 	t.members = append(t.members, nodes...)
@@ -106,20 +138,47 @@ func (t *Tracker) OnFailure(fn func(NodeID)) {
 // RecordTimeout notes one RPC timeout against node. It returns true when
 // this call crossed the threshold and declared the node failed. Timeouts
 // against unknown or already-failed nodes are ignored.
+//
+// Telemetry ordering guarantee: for a given declaration, the
+// node-suspected event precedes node-declared-dead, which precedes the
+// failure listeners (and therefore any ring-membership-change /
+// recache-planned events they emit).
 func (t *Tracker) RecordTimeout(node NodeID) bool {
+	now := time.Now()
 	t.mu.Lock()
 	if !t.memberSet[node] || t.failed[node] {
 		t.mu.Unlock()
 		return false
 	}
 	t.counts[node]++
-	if t.counts[node] < t.limit {
+	count := t.counts[node]
+	suspected := count == 1
+	if suspected {
+		t.suspectAt[node] = now
+	}
+	if count < t.limit {
 		t.mu.Unlock()
+		if suspected {
+			detMetrics().suspected.Inc()
+			telemetry.TraceEvent(telemetry.EventNodeSuspected, string(node), "timeout", int64(count))
+		}
 		return false
 	}
 	t.failed[node] = true
+	firstTimeout := t.suspectAt[node]
+	delete(t.suspectAt, node)
 	listeners := append(make([]func(NodeID), 0, len(t.listeners)), t.listeners...)
 	t.mu.Unlock()
+	m := detMetrics()
+	if suspected {
+		// limit == 1: the same timeout both suspects and declares.
+		m.suspected.Inc()
+		telemetry.TraceEvent(telemetry.EventNodeSuspected, string(node), "timeout", int64(count))
+	}
+	latency := now.Sub(firstTimeout)
+	m.declared.Inc()
+	m.suspectToDead.Observe(int64(latency))
+	telemetry.TraceEvent(telemetry.EventNodeDead, string(node), "timeout-limit", int64(latency))
 	for _, fn := range listeners {
 		fn(node)
 	}
@@ -132,25 +191,42 @@ func (t *Tracker) RecordTimeout(node NodeID) bool {
 // a node mid-job (a rejoin arrives via elastic restart instead).
 func (t *Tracker) RecordSuccess(node NodeID) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.failed[node] {
-		return
+	wasSuspect := t.counts[node] > 0 && !t.failed[node]
+	if !t.failed[node] {
+		t.counts[node] = 0
+		delete(t.suspectAt, node)
 	}
-	t.counts[node] = 0
+	t.mu.Unlock()
+	if wasSuspect {
+		// A transient delay survived: the detection timer ran but did
+		// not fire — the false-positive-mitigation outcome.
+		detMetrics().resets.Inc()
+	}
 }
 
 // MarkFailed force-declares node failed (fault injection, or external
 // knowledge such as a scheduler DRAIN event). Returns true if the node
 // transitioned now.
 func (t *Tracker) MarkFailed(node NodeID) bool {
+	now := time.Now()
 	t.mu.Lock()
 	if !t.memberSet[node] || t.failed[node] {
 		t.mu.Unlock()
 		return false
 	}
 	t.failed[node] = true
+	firstTimeout, wasSuspect := t.suspectAt[node]
+	delete(t.suspectAt, node)
 	listeners := append(make([]func(NodeID), 0, len(t.listeners)), t.listeners...)
 	t.mu.Unlock()
+	m := detMetrics()
+	m.declared.Inc()
+	var latency time.Duration
+	if wasSuspect {
+		latency = now.Sub(firstTimeout)
+		m.suspectToDead.Observe(int64(latency))
+	}
+	telemetry.TraceEvent(telemetry.EventNodeDead, string(node), "forced", int64(latency))
 	for _, fn := range listeners {
 		fn(node)
 	}
@@ -179,8 +255,10 @@ func (t *Tracker) Revive(node NodeID) bool {
 	}
 	delete(t.failed, node)
 	t.counts[node] = 0
+	delete(t.suspectAt, node)
 	listeners := append(make([]func(NodeID), 0, len(t.recoveryListeners)), t.recoveryListeners...)
 	t.mu.Unlock()
+	telemetry.TraceEvent(telemetry.EventNodeRevived, string(node), "", 0)
 	for _, fn := range listeners {
 		fn(node)
 	}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/hashring"
 	"repro/internal/hvac"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 )
 
 // NoFT is the fault-intolerant baseline router.
@@ -129,9 +130,24 @@ type RingRecache struct {
 // NewRingRecache creates the FT w/ NVMe router. virtualNodes <= 0 selects
 // the paper's production value of 100 per physical node.
 func NewRingRecache(nodes []cluster.NodeID, virtualNodes int) *RingRecache {
-	return &RingRecache{
+	r := &RingRecache{
 		ring: hashring.NewWithNodes(hashring.Config{VirtualNodes: virtualNodes}, nodes),
 	}
+	// Latest-wins: a process normally runs one routing policy, and the
+	// debug endpoint wants the live ring.
+	telemetry.Default().RegisterDebug("ring", func() any {
+		nodes := r.ring.Nodes()
+		members := make([]string, len(nodes))
+		for i, n := range nodes {
+			members[i] = string(n)
+		}
+		return map[string]any{
+			"strategy": r.Name(),
+			"members":  members,
+			"points":   r.ring.PointCount(),
+		}
+	})
+	return r
 }
 
 // Name implements hvac.Router.
@@ -148,8 +164,14 @@ func (r *RingRecache) Route(path string) hvac.Decision {
 }
 
 // NodeFailed implements hvac.Router: drop the node from the ring; its
-// arcs flow to the clockwise successors.
-func (r *RingRecache) NodeFailed(node cluster.NodeID) { r.ring.Remove(node) }
+// arcs flow to the clockwise successors. The recache itself is elastic —
+// the new owners fill on miss — so the "plan" here is implicit; the
+// event marks the moment recaching became the routing policy's answer
+// for the lost arcs.
+func (r *RingRecache) NodeFailed(node cluster.NodeID) {
+	r.ring.Remove(node)
+	telemetry.TraceEvent(telemetry.EventRecachePlanned, string(node), "elastic", int64(r.ring.Len()))
+}
 
 // NodeRecovered implements hvac.RecoveryAware: re-adding the node
 // restores its original virtual points, so it reclaims exactly the arcs

@@ -29,8 +29,37 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/telemetry"
 	"repro/internal/xhash"
 )
+
+// ringMetrics aggregate membership-churn observables across every ring
+// in the process (each client owns a ring; they all see the same
+// failures, so the aggregate is the meaningful series). Lookups are
+// deliberately NOT counted — Owner is the per-I/O hot path and must
+// stay free of shared-cache-line traffic.
+type ringMetrics struct {
+	swaps     *telemetry.Counter // snapshot publications (Add/Remove/AddWeighted)
+	keysMoved *telemetry.Counter // keys re-owned across all RecachePlans
+	plans     *telemetry.Counter // PlanRecache invocations
+}
+
+var (
+	ringMetricsOnce sync.Once
+	ringMetricsInst *ringMetrics
+)
+
+func metrics() *ringMetrics {
+	ringMetricsOnce.Do(func() {
+		reg := telemetry.Default()
+		ringMetricsInst = &ringMetrics{
+			swaps:     reg.Counter("ftc_ring_snapshot_swaps_total"),
+			keysMoved: reg.Counter("ftc_ring_keys_moved_total"),
+			plans:     reg.Counter("ftc_ring_recache_plans_total"),
+		}
+	})
+	return ringMetricsInst
+}
 
 // NodeID identifies a physical node (an HVAC server instance).
 type NodeID string
@@ -239,6 +268,8 @@ func (r *Ring) addPoints(node NodeID, v int, weighted bool) {
 	}
 	next.nodes = sortedMembers(next.member)
 	r.snap.Store(next)
+	metrics().swaps.Inc()
+	telemetry.TraceEvent(telemetry.EventRingChange, string(node), "add", int64(len(next.member)))
 }
 
 // Add inserts node with its virtual points. Adding an existing member is
@@ -274,6 +305,8 @@ func (r *Ring) Remove(node NodeID) {
 	}
 	next.nodes = sortedMembers(next.member)
 	r.snap.Store(next)
+	metrics().swaps.Inc()
+	telemetry.TraceEvent(telemetry.EventRingChange, string(node), "remove", int64(len(next.member)))
 }
 
 // filterPoints returns a fresh sorted slice of pts minus node's points.
@@ -411,6 +444,10 @@ func (r *Ring) PlanRecache(failed NodeID, keys []string) RecachePlan {
 		plan.Moves[newOwner] = append(plan.Moves[newOwner], k)
 		plan.Lost++
 	}
+	m := metrics()
+	m.plans.Inc()
+	m.keysMoved.Add(int64(plan.Lost))
+	telemetry.TraceEvent(telemetry.EventRecachePlanned, string(failed), "plan", int64(plan.Lost))
 	return plan
 }
 

@@ -256,6 +256,7 @@ func (c *Client) dropConn(node cluster.NodeID) {
 // Router.NodeFailed when the threshold is crossed.
 func (c *Client) noteTimeout(node cluster.NodeID) {
 	c.timeouts.Add(1)
+	cliMetrics().timeouts.Inc()
 	c.tracker.RecordTimeout(node)
 }
 
@@ -268,9 +269,13 @@ func (c *Client) Read(ctx context.Context, path string) ([]byte, error) {
 // ReadRange returns [offset, offset+length) of path; length < 0 means to
 // EOF.
 func (c *Client) ReadRange(ctx context.Context, path string, offset, length int64) ([]byte, error) {
+	m := cliMetrics()
 	start := time.Now()
 	defer func() {
-		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		elapsed := time.Since(start)
+		m.reads.Inc()
+		m.readLatency.Observe(int64(elapsed))
+		ms := float64(elapsed) / float64(time.Millisecond)
 		c.latMu.Lock()
 		c.latency.Add(ms)
 		c.latMu.Unlock()
@@ -278,10 +283,12 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt == 1 {
 			c.failoverReads.Add(1)
+			m.failovers.Inc()
 		}
 		d := c.cfg.Router.Route(path)
 		switch d.Kind {
 		case RouteAbort:
+			m.aborts.Inc()
 			return nil, ErrAborted
 
 		case RoutePFS:
@@ -300,6 +307,7 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 				return nil, fmt.Errorf("hvac: range out of bounds for %s", path)
 			}
 			c.directPFS.Add(1)
+			m.directPFS.Inc()
 			c.directBytes.Add(int64(len(body)))
 			return body, nil
 
@@ -366,8 +374,10 @@ func (c *Client) readFromNode(ctx context.Context, node cluster.NodeID, path str
 	c.remoteBytes.Add(int64(len(resp.Data)))
 	if resp.Source == SourceNVMe {
 		c.servedNVMe.Add(1)
+		cliMetrics().servedNVMe.Inc()
 	} else {
 		c.servedPFS.Add(1)
+		cliMetrics().servedPFS.Inc()
 		// A PFS fallback means this was the object's first touch (or a
 		// post-failure recache) — replicate it to the secondary owners.
 		if c.cfg.ReplicationFactor > 1 && offset == 0 && length < 0 {
@@ -400,6 +410,7 @@ func (c *Client) replicateAsync(path string, data []byte) {
 			defer func() { <-c.replSem }()
 			if err := c.Push(context.Background(), node, path, body); err == nil {
 				c.replicaPushes.Add(1)
+				cliMetrics().replicaPush.Inc()
 			}
 		}()
 	}

@@ -1,0 +1,105 @@
+package hvac
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// clientMetrics are shared by every HVAC client in the process: in a
+// training job each rank runs one client and the aggregate over ranks
+// is the paper-relevant signal (per-client detail stays available via
+// Client.Stats). Handles resolve once; the read path never touches the
+// registry.
+type clientMetrics struct {
+	reads       *telemetry.Counter   // completed Read/ReadRange calls (any outcome)
+	readLatency *telemetry.Histogram // end-to-end read latency incl. failover
+	servedNVMe  *telemetry.Counter   // remote reads served from owner NVMe (cache hit)
+	servedPFS   *telemetry.Counter   // remote reads the server fell back to PFS for (cache miss)
+	directPFS   *telemetry.Counter   // client-side PFS bypass reads (redirection strategy)
+	timeouts    *telemetry.Counter   // detection-timer expiries observed
+	failovers   *telemetry.Counter   // reads that needed more than one attempt
+	replicaPush *telemetry.Counter   // replica writes issued
+	aborts      *telemetry.Counter   // reads terminated by RouteAbort (NoFT)
+}
+
+var (
+	cliMetricsOnce sync.Once
+	cliMetricsInst *clientMetrics
+)
+
+func cliMetrics() *clientMetrics {
+	cliMetricsOnce.Do(func() {
+		reg := telemetry.Default()
+		cliMetricsInst = &clientMetrics{
+			reads:       reg.Counter("ftc_client_reads_total"),
+			readLatency: reg.Histogram("ftc_client_read_latency_seconds"),
+			servedNVMe:  reg.Counter("ftc_client_served_nvme_total"),
+			servedPFS:   reg.Counter("ftc_client_served_pfs_total"),
+			directPFS:   reg.Counter("ftc_client_direct_pfs_total"),
+			timeouts:    reg.Counter("ftc_client_timeouts_total"),
+			failovers:   reg.Counter("ftc_client_failover_reads_total"),
+			replicaPush: reg.Counter("ftc_client_replica_pushes_total"),
+			aborts:      reg.Counter("ftc_client_aborts_total"),
+		}
+	})
+	return cliMetricsInst
+}
+
+// registerTelemetry publishes a server's observables into the Default
+// registry, labeled by node so an in-process fleet stays separable.
+// Everything is exported through scrape-time callbacks over the atomic
+// counters the request path already maintains — zero added cost per
+// request — and every callback is a lock-free read, so a scrape never
+// contends with the serve path. Re-registration after a node revive
+// rebinds the series to the fresh instance (latest wins).
+func (s *Server) registerTelemetry() {
+	reg := telemetry.Default()
+	node := string(s.cfg.Node)
+	nvme, mover := s.nvme, s.mover
+
+	reg.CounterFunc("ftc_server_reads_total", s.reads.Load, "node", node)
+	reg.CounterFunc("ftc_server_pfs_fallbacks_total", s.pfsFallbacks.Load, "node", node)
+
+	reg.CounterFunc("ftc_server_nvme_hits_total", func() int64 { h, _, _ := nvme.Counters(); return h }, "node", node)
+	reg.CounterFunc("ftc_server_nvme_misses_total", func() int64 { _, m, _ := nvme.Counters(); return m }, "node", node)
+	reg.CounterFunc("ftc_server_nvme_evictions_total", func() int64 { _, _, e := nvme.Counters(); return e }, "node", node)
+	reg.CounterFunc("ftc_server_nvme_spills_total", nvme.Spills, "node", node)
+	reg.GaugeFunc("ftc_server_nvme_bytes", func() int64 { _, b := nvme.StatsAtomic(); return b }, "node", node)
+	reg.GaugeFunc("ftc_server_nvme_objects", func() int64 { o, _ := nvme.StatsAtomic(); return o }, "node", node)
+
+	reg.CounterFunc("ftc_server_fills_total", func() int64 { e, _ := mover.Counters(); return e }, "node", node)
+	reg.CounterFunc("ftc_server_fill_drops_total", func() int64 { _, d := mover.Counters(); return d }, "node", node)
+	reg.CounterFunc("ftc_server_inline_fills_total", func() int64 { i, _, _ := mover.FillStats(); return i }, "node", node)
+	reg.CounterFunc("ftc_server_fill_errors_total", func() int64 { _, e, _ := mover.FillStats(); return e }, "node", node)
+	reg.GaugeFunc("ftc_server_mover_queue_depth", mover.QueueDepth, "node", node)
+
+	reg.RegisterDebug("server:"+node, s.debugSnapshot)
+}
+
+// debugSnapshot is this server's section of /debug/ftcache.
+func (s *Server) debugSnapshot() any {
+	objects, bytes := s.nvme.StatsAtomic()
+	hits, misses, evictions := s.nvme.Counters()
+	enq, drop := s.mover.Counters()
+	inline, fillErrs, lastErr := s.mover.FillStats()
+	return map[string]any{
+		"node":            string(s.cfg.Node),
+		"nvme_objects":    objects,
+		"nvme_bytes":      bytes,
+		"nvme_capacity":   s.nvme.Capacity(),
+		"nvme_hits":       hits,
+		"nvme_misses":     misses,
+		"nvme_evictions":  evictions,
+		"nvme_spills":     s.nvme.Spills(),
+		"shard_bytes":     s.nvme.ShardBytes(),
+		"pfs_fallbacks":   s.pfsFallbacks.Load(),
+		"fills_enqueued":  enq,
+		"fills_dropped":   drop,
+		"fills_inline":    inline,
+		"fill_errors":     fillErrs,
+		"last_fill_error": lastErr,
+		"queue_depth":     s.mover.QueueDepth(),
+		"unresponsive":    s.Unresponsive(),
+	}
+}

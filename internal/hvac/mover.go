@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Mover is the HVAC server's background data-mover thread (§II-B): after
@@ -24,11 +25,17 @@ import (
 // a backlog exists, preserving the never-block-a-read guarantee.
 type Mover struct {
 	nvme *storage.NVMe
+	node string // owning server's identity, for event tracing
 	ch   chan moveJob
 	wg   sync.WaitGroup
 
 	enqueued atomic.Int64
 	dropped  atomic.Int64
+	inline   atomic.Int64 // fills stored synchronously on the idle fast path
+	fillErrs atomic.Int64 // fills that failed (e.g. ErrTooLarge)
+
+	errMu   sync.Mutex
+	lastErr string // most recent fill failure, for /debug/ftcache
 
 	mu     sync.Mutex
 	closed bool
@@ -59,10 +66,28 @@ func NewMover(nvme *storage.NVMe, queueDepth, workers int) *Mover {
 	return m
 }
 
+// fill performs one cache fill and records its outcome. Historically a
+// failed Put was discarded silently, which made "why is this file never
+// cached?" undiagnosable; failures are now counted and the most recent
+// one is kept for the debug snapshot.
+func (m *Mover) fill(path string, data []byte, inlined bool) {
+	if inlined {
+		m.inline.Add(1)
+	}
+	if err := m.nvme.Put(path, data); err != nil {
+		m.fillErrs.Add(1)
+		m.errMu.Lock()
+		m.lastErr = path + ": " + err.Error()
+		m.errMu.Unlock()
+		return
+	}
+	telemetry.TraceEvent(telemetry.EventRecacheFileDone, m.node, path, int64(len(data)))
+}
+
 func (m *Mover) run() {
 	defer m.wg.Done()
 	for job := range m.ch {
-		_ = m.nvme.Put(job.path, job.data) // ErrTooLarge: object can never cache
+		m.fill(job.path, job.data, false)
 		m.mu.Lock()
 		m.inQ--
 		if m.inQ == 0 {
@@ -86,7 +111,7 @@ func (m *Mover) Enqueue(path string, data []byte) bool {
 		// Flush sees nothing outstanding — the fill is already durable
 		// (in cache terms) by the time Enqueue returns.
 		m.mu.Unlock()
-		_ = m.nvme.Put(path, data) // ErrTooLarge: object can never cache
+		m.fill(path, data, true)
 		m.enqueued.Add(1)
 		return true
 	}
@@ -137,3 +162,16 @@ func (m *Mover) Close() {
 func (m *Mover) Counters() (enqueued, dropped int64) {
 	return m.enqueued.Load(), m.dropped.Load()
 }
+
+// FillStats returns the inline-fill count, the fill-error count, and the
+// most recent fill error ("" if none has occurred).
+func (m *Mover) FillStats() (inline, errs int64, lastErr string) {
+	m.errMu.Lock()
+	lastErr = m.lastErr
+	m.errMu.Unlock()
+	return m.inline.Load(), m.fillErrs.Load(), lastErr
+}
+
+// QueueDepth returns the number of jobs currently buffered in the
+// channel (a point-in-time, lock-free read for the telemetry gauge).
+func (m *Mover) QueueDepth() int64 { return int64(len(m.ch)) }

@@ -88,3 +88,44 @@ func TestMoverConcurrentEnqueue(t *testing.T) {
 	}
 	m.Close()
 }
+
+func TestMoverCountsFillErrors(t *testing.T) {
+	// Capacity 4: a 10-byte object can never cache, so every fill —
+	// inline or queued — fails with ErrTooLarge.
+	nvme := storage.NewNVMe(4)
+	m := NewMover(nvme, 16, 1)
+	defer m.Close()
+
+	big := []byte("0123456789")
+	if !m.Enqueue("huge.bin", big) {
+		t.Fatal("idle-path enqueue reported a drop")
+	}
+	m.Flush()
+
+	inline, errs, lastErr := m.FillStats()
+	if inline != 1 {
+		t.Errorf("inline fills = %d, want 1", inline)
+	}
+	if errs != 1 {
+		t.Errorf("fill errors = %d, want 1", errs)
+	}
+	if lastErr == "" {
+		t.Error("lastErr empty after failed fill")
+	}
+	if nvme.Has("huge.bin") {
+		t.Error("oversized object cached despite capacity")
+	}
+
+	// A small object still fills fine and does not disturb the error
+	// record.
+	if !m.Enqueue("ok.bin", []byte("ab")) {
+		t.Fatal("small enqueue dropped")
+	}
+	m.Flush()
+	if !nvme.Has("ok.bin") {
+		t.Error("small object not cached")
+	}
+	if _, errs, _ := m.FillStats(); errs != 1 {
+		t.Errorf("fill errors after success = %d, want still 1", errs)
+	}
+}

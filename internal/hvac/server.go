@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // ServerConfig configures one HVAC server daemon.
@@ -29,6 +30,7 @@ type Server struct {
 	mover *Mover
 	rpc   *rpc.Server
 
+	reads        atomic.Int64
 	pfsFallbacks atomic.Int64
 }
 
@@ -41,7 +43,9 @@ func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
 		pfs:  pfs,
 	}
 	s.mover = NewMover(s.nvme, cfg.MoverQueueDepth, cfg.MoverWorkers)
+	s.mover.node = string(cfg.Node)
 	s.rpc = rpc.NewServer(rpc.HandlerFunc(s.handle))
+	s.registerTelemetry()
 	return s
 }
 
@@ -112,6 +116,7 @@ func (s *Server) handleRead(payload []byte) (uint16, []byte) {
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
 	}
+	s.reads.Add(1)
 	source := SourceNVMe
 	data, err := s.nvme.Get(req.Path)
 	if err != nil {
@@ -121,6 +126,7 @@ func (s *Server) handleRead(payload []byte) (uint16, []byte) {
 		}
 		source = SourcePFS
 		s.pfsFallbacks.Add(1)
+		telemetry.TraceEvent(telemetry.EventPFSFallback, string(s.cfg.Node), req.Path, int64(len(data)))
 		s.mover.Enqueue(req.Path, data)
 	}
 	body, ok := slice(data, req.Offset, req.Length)

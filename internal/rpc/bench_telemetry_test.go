@@ -1,0 +1,56 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// benchRoundtripTelemetry is BenchmarkRPCRoundtrip with the telemetry
+// gate in a chosen position, so the on/off delta — the cost of the
+// histogram observes and trace gating added to Call — is one benchstat
+// comparison:
+//
+//	go test ./internal/rpc -bench 'RPCRoundtripTelemetry' -count 10
+func benchRoundtripTelemetry(b *testing.B, enabled bool) {
+	prev := telemetry.Enabled()
+	telemetry.SetEnabled(enabled)
+	defer telemetry.SetEnabled(prev)
+
+	payload := make([]byte, 4096)
+	net := NewInprocNetwork()
+	lis, err := net.Listen("bench-tel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(HandlerFunc(func(op uint16, req []byte) (uint16, []byte) {
+		return StatusOK, payload
+	}))
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("bench-tel")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		cli := NewClient(conn)
+		defer cli.Close()
+		ctx := context.Background()
+		req := []byte("cosmoUniverse/train/univ_000042.tfrecord")
+		for pb.Next() {
+			if _, _, err := cli.Call(ctx, 1, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkRPCRoundtripTelemetryOn(b *testing.B)  { benchRoundtripTelemetry(b, true) }
+func BenchmarkRPCRoundtripTelemetryOff(b *testing.B) { benchRoundtripTelemetry(b, false) }

@@ -1,0 +1,38 @@
+package rpc
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// rpcMetrics are the transport-level series, shared by every Client in
+// the process (a training rank opens one connection per server; the
+// aggregate is the interesting signal). Handles are resolved once and
+// cached — Call never touches the registry.
+type rpcMetrics struct {
+	roundtrip *telemetry.Histogram // successful call latency
+	inflight  *telemetry.Gauge     // calls issued and not yet resolved
+	calls     *telemetry.Counter   // every Call, any outcome
+	timeouts  *telemetry.Counter   // ErrTimeout outcomes
+	failures  *telemetry.Counter   // ErrClosed / write / context failures
+}
+
+var (
+	metricsOnce sync.Once
+	metricsInst *rpcMetrics
+)
+
+func metrics() *rpcMetrics {
+	metricsOnce.Do(func() {
+		reg := telemetry.Default()
+		metricsInst = &rpcMetrics{
+			roundtrip: reg.Histogram("ftc_rpc_roundtrip_seconds"),
+			inflight:  reg.Gauge("ftc_rpc_inflight"),
+			calls:     reg.Counter("ftc_rpc_calls_total"),
+			timeouts:  reg.Counter("ftc_rpc_timeouts_total"),
+			failures:  reg.Counter("ftc_rpc_failures_total"),
+		}
+	})
+	return metricsInst
+}

@@ -287,6 +287,25 @@ func (c *Client) failAll(err error) {
 // the server. Context expiry maps to ErrTimeout so failure detectors can
 // distinguish "slow/silent node" from "connection refused" (ErrClosed).
 func (c *Client) Call(ctx context.Context, op uint16, payload []byte) (resp []byte, status uint16, err error) {
+	m := metrics()
+	m.inflight.Add(1)
+	start := time.Now()
+	resp, status, err = c.call(ctx, op, payload)
+	m.inflight.Add(-1)
+	m.calls.Inc()
+	switch {
+	case err == nil:
+		m.roundtrip.ObserveSince(start)
+	case errors.Is(err, ErrTimeout):
+		m.timeouts.Inc()
+	default:
+		m.failures.Inc()
+	}
+	return resp, status, err
+}
+
+// call is the uninstrumented body of Call.
+func (c *Client) call(ctx context.Context, op uint16, payload []byte) (resp []byte, status uint16, err error) {
 	id := c.nextID.Add(1)
 	p := acquireCall()
 

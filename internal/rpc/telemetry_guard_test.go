@@ -1,0 +1,45 @@
+//go:build benchguard
+
+package rpc
+
+import (
+	"testing"
+)
+
+// TestTelemetryOverheadGuard fails when enabling telemetry costs more
+// than the budget on the parallel RPC roundtrip — the hottest
+// instrumented path in the system. The issue budget is 5%; the guard
+// threshold is looser because single-shot in-process benchmark runs on
+// shared CI machines jitter far more than that, and the guard's job is
+// to catch an accidental lock or allocation on the hot path (an
+// order-of-magnitude regression), not to benchstat a 3% drift.
+//
+// Gated behind the benchguard tag so ordinary `go test ./...` stays
+// fast and deterministic:
+//
+//	go test -tags benchguard -run TestTelemetryOverheadGuard ./internal/rpc/
+func TestTelemetryOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	// Interleave A/B/A/B and keep the best of each: minimums are far more
+	// robust to scheduler noise than means on a shared runner.
+	best := func(enabled bool) float64 {
+		min := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) { benchRoundtripTelemetry(b, enabled) })
+			ns := float64(r.NsPerOp())
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+	on := best(true)
+	off := best(false)
+	overhead := (on - off) / off
+	t.Logf("roundtrip: telemetry on %.0f ns/op, off %.0f ns/op, overhead %+.1f%%", on, off, 100*overhead)
+	if overhead > 0.30 {
+		t.Errorf("telemetry overhead %.1f%% exceeds 30%% guard threshold (budget is 5%% under benchstat conditions)", 100*overhead)
+	}
+}

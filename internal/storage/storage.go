@@ -84,6 +84,7 @@ type NVMe struct {
 	mask     uint64
 
 	evictions atomic.Int64
+	spills    atomic.Int64 // evictions performed outside the inserting shard
 	hits      atomic.Int64
 	misses    atomic.Int64
 }
@@ -92,7 +93,11 @@ type nvmeShard struct {
 	mu    sync.Mutex
 	items map[string]*list.Element
 	lru   *list.List // front = most recently used
-	_     [40]byte   // pad to a cache line so shard locks don't false-share
+	// bytes/objects mirror the shard's content for lock-free telemetry
+	// reads; they are written under mu but loaded without it.
+	bytes   atomic.Int64
+	objects atomic.Int64
+	_       [40]byte // pad to a cache line so shard locks don't false-share
 }
 
 type nvmeEntry struct {
@@ -147,6 +152,7 @@ func (n *NVMe) Put(path string, data []byte) error {
 	if el, ok := sh.items[path]; ok {
 		old := el.Value.(*nvmeEntry)
 		n.used.Add(size - int64(len(old.data)))
+		sh.bytes.Add(size - int64(len(old.data)))
 		old.data = data
 		sh.lru.MoveToFront(el)
 		kept = el
@@ -154,6 +160,8 @@ func (n *NVMe) Put(path string, data []byte) error {
 		kept = sh.lru.PushFront(&nvmeEntry{path: path, data: data})
 		sh.items[path] = kept
 		n.used.Add(size)
+		sh.bytes.Add(size)
+		sh.objects.Add(1)
 	}
 	if n.capacity > 0 {
 		n.evictShardLocked(sh, kept)
@@ -166,8 +174,10 @@ func (n *NVMe) Put(path string, data []byte) error {
 }
 
 // evictShardLocked evicts LRU-order objects from sh (whose lock the
-// caller holds) until the global budget is met or only keep remains.
-func (n *NVMe) evictShardLocked(sh *nvmeShard, keep *list.Element) {
+// caller holds) until the global budget is met or only keep remains,
+// returning the number of objects evicted.
+func (n *NVMe) evictShardLocked(sh *nvmeShard, keep *list.Element) int {
+	evicted := 0
 	for n.used.Load() > n.capacity {
 		tail := sh.lru.Back()
 		if tail != nil && tail == keep {
@@ -176,14 +186,18 @@ func (n *NVMe) evictShardLocked(sh *nvmeShard, keep *list.Element) {
 			tail = tail.Prev()
 		}
 		if tail == nil {
-			return
+			return evicted
 		}
 		ent := tail.Value.(*nvmeEntry)
 		sh.lru.Remove(tail)
 		delete(sh.items, ent.path)
 		n.used.Add(-int64(len(ent.data)))
+		sh.bytes.Add(-int64(len(ent.data)))
+		sh.objects.Add(-1)
 		n.evictions.Add(1)
+		evicted++
 	}
+	return evicted
 }
 
 // evictSpill walks the other shards (one lock at a time) evicting their
@@ -209,8 +223,11 @@ func (n *NVMe) evictSpill(from *nvmeShard, keep *list.Element) {
 			k = nil
 		}
 		sh.mu.Lock()
-		n.evictShardLocked(sh, k)
+		evicted := n.evictShardLocked(sh, k)
 		sh.mu.Unlock()
+		if sh != from {
+			n.spills.Add(int64(evicted))
+		}
 	}
 }
 
@@ -245,7 +262,10 @@ func (n *NVMe) Delete(path string) {
 	sh := n.shardFor(path)
 	sh.mu.Lock()
 	if el, ok := sh.items[path]; ok {
-		n.used.Add(-int64(len(el.Value.(*nvmeEntry).data)))
+		size := int64(len(el.Value.(*nvmeEntry).data))
+		n.used.Add(-size)
+		sh.bytes.Add(-size)
+		sh.objects.Add(-1)
 		sh.lru.Remove(el)
 		delete(sh.items, path)
 	}
@@ -264,10 +284,35 @@ func (n *NVMe) Stats() (int, int64) {
 	return objects, n.used.Load()
 }
 
+// StatsAtomic is the lock-free variant of Stats for telemetry scrapes:
+// it sums the per-shard atomic mirrors, so a scrape never contends with
+// the request path. Counts may be mid-update-skewed by in-flight Puts.
+func (n *NVMe) StatsAtomic() (objects int64, bytes int64) {
+	for i := range n.shards {
+		objects += n.shards[i].objects.Load()
+	}
+	return objects, n.used.Load()
+}
+
+// ShardBytes returns the current per-shard byte occupancy (lock-free) —
+// the balance observable the /debug/ftcache snapshot exposes.
+func (n *NVMe) ShardBytes() []int64 {
+	out := make([]int64, len(n.shards))
+	for i := range n.shards {
+		out[i] = n.shards[i].bytes.Load()
+	}
+	return out
+}
+
 // Counters returns cumulative hit/miss/eviction counts.
 func (n *NVMe) Counters() (hits, misses, evictions int64) {
 	return n.hits.Load(), n.misses.Load(), n.evictions.Load()
 }
+
+// Spills returns the cumulative count of evictions that spilled outside
+// the inserting shard — a signal that one shard's insert pressure is
+// eating the budget of the others.
+func (n *NVMe) Spills() int64 { return n.spills.Load() }
 
 // Capacity returns the configured byte capacity (0 = unbounded).
 func (n *NVMe) Capacity() int64 { return n.capacity }
@@ -287,6 +332,8 @@ func (n *NVMe) Clear() {
 		sh.items = make(map[string]*list.Element)
 		sh.lru.Init()
 		n.used.Add(-bytes)
+		sh.bytes.Add(-bytes)
+		sh.objects.Store(0)
 		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketIndexBoundsRoundtrip(t *testing.T) {
+	// Every bucket's bounds must map back to that bucket, and indices
+	// must be monotonic in the value.
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if lo < math.MaxInt64 && int64(lo) >= 0 {
+			if got := bucketIndex(int64(lo)); got != i {
+				t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, got, i)
+			}
+		}
+		last := hi - 1
+		if last <= math.MaxInt64 {
+			if got := bucketIndex(int64(last)); got != i {
+				t.Fatalf("bucketIndex(hi-1=%d) = %d, want %d", last, got, i)
+			}
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 3, 7, 8, 9, 15, 16, 100, 1000, 1e6, 1e9, 1e12, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d", v)
+		}
+		prev = idx
+	}
+	if bucketIndex(-5) != 0 {
+		t.Fatal("negative values must land in bucket 0")
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	// From 8 up, bucket width must stay within 25% of the lower bound.
+	for i := 8; i < numBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if float64(hi-lo)/float64(lo) > 0.25+1e-9 {
+			t.Fatalf("bucket %d [%d,%d) wider than 25%%", i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 µs uniform: p50 ≈ 500µs, p99 ≈ 990µs, within bucket
+	// resolution (25%).
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v * 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	p50 := s.Quantile(0.50)
+	p99 := s.Quantile(0.99)
+	if p50 < 350e3 || p50 > 650e3 {
+		t.Errorf("p50 = %.0f ns, want ~500µs", p50)
+	}
+	if p99 < 750e3 || p99 > 1250e3 {
+		t.Errorf("p99 = %.0f ns, want ~990µs", p99)
+	}
+	if s.Quantile(0) > s.Quantile(1) {
+		t.Error("quantiles not monotonic")
+	}
+	wantSum := int64(1000*1001/2) * 1000
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram not zero: %+v", s)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v += 997
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler serves the registry over HTTP:
+//
+//   - GET /metrics        — Prometheus text exposition
+//   - GET /debug/ftcache  — JSON snapshot: debug sections registered via
+//     RegisterDebug (server cache state, ring membership, …) plus the
+//     recent event trace (?events=N, default 128)
+//
+// The handler is read-only and lock-light; ftcserver mounts it behind
+// an opt-in -metrics listen address.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/ftcache", func(w http.ResponseWriter, req *http.Request) {
+		n := 128
+		if s := req.URL.Query().Get("events"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.DebugSnapshot(n))
+	})
+	return mux
+}
+
+// DebugState is the JSON shape of /debug/ftcache.
+type DebugState struct {
+	Now      time.Time      `json:"now"`
+	Sections map[string]any `json:"sections"`
+	Events   []EventJSON    `json:"events"`
+}
+
+// EventJSON is the wire form of one traced event.
+type EventJSON struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Type   string    `json:"type"`
+	Node   string    `json:"node,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	Value  int64     `json:"value,omitempty"`
+}
+
+// DebugSnapshot materializes the /debug/ftcache payload with up to
+// maxEvents recent events.
+func (r *Registry) DebugSnapshot(maxEvents int) DebugState {
+	events := r.trace.Recent(maxEvents)
+	out := DebugState{
+		Now:      time.Now(),
+		Sections: r.debugSections(),
+		Events:   make([]EventJSON, 0, len(events)),
+	}
+	for _, e := range events {
+		out.Events = append(out.Events, EventJSON{
+			Seq:    e.Seq,
+			Time:   e.Time,
+			Type:   e.Type.String(),
+			Node:   e.Node,
+			Detail: e.Detail,
+			Value:  e.Value,
+		})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func scrapeRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("ftc_hits_total", "node", "n0").Add(12)
+	r.Counter("ftc_hits_total", "node", "n1").Add(3)
+	r.GaugeFunc("ftc_bytes", func() int64 { return 4096 })
+	h := r.Histogram("ftc_lat_seconds")
+	h.Observe(1_000_000)  // 1ms
+	h.Observe(2_000_000)  // 2ms
+	h.Observe(50_000_000) // 50ms
+	r.RegisterDebug("server", func() any { return map[string]any{"node": "n0"} })
+	r.Trace().Emit(EventNodeDead, "n1", "", 7)
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := scrapeRegistry(t)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ftc_hits_total counter",
+		`ftc_hits_total{node="n0"} 12`,
+		`ftc_hits_total{node="n1"} 3`,
+		"# TYPE ftc_bytes gauge",
+		"ftc_bytes 4096",
+		"# TYPE ftc_lat_seconds histogram",
+		`ftc_lat_seconds_bucket{le="+Inf"} 3`,
+		"ftc_lat_seconds_count 3",
+		"ftc_lat_seconds_sum 0.053",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE line for a name must appear exactly once.
+	if strings.Count(out, "# TYPE ftc_hits_total") != 1 {
+		t.Errorf("duplicate TYPE lines:\n%s", out)
+	}
+	// Bucket counts must be cumulative.
+	last := int64(-1)
+	seen := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "ftc_lat_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative:\n%s", out)
+		}
+		last = v
+		seen++
+	}
+	if seen < 4 { // 3 value buckets + +Inf
+		t.Fatalf("expected >= 4 bucket lines, got %d:\n%s", seen, out)
+	}
+}
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	r := scrapeRegistry(t)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ftc_hits_total") {
+		t.Fatalf("scrape missing counters:\n%s", body)
+	}
+
+	dresp, err := srv.Client().Get(srv.URL + "/debug/ftcache?events=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var state DebugState
+	if err := json.NewDecoder(dresp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := state.Sections["server"]; !ok {
+		t.Fatalf("debug snapshot missing server section: %+v", state.Sections)
+	}
+	if len(state.Events) != 1 || state.Events[0].Type != "node-declared-dead" {
+		t.Fatalf("debug events wrong: %+v", state.Events)
+	}
+}

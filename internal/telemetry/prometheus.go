@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4). Histograms record
+// nanoseconds and are rendered in seconds (_sum and the le bounds are
+// divided by 1e9); only buckets that hold observations are emitted
+// (plus +Inf), which is valid — Prometheus allows arbitrary le subsets
+// as long as counts are cumulative.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Group series under one # TYPE line per metric name, preserving
+	// first-registration order.
+	names := make([]string, 0, len(snap))
+	byName := make(map[string][]MetricValue, len(snap))
+	for _, mv := range snap {
+		if _, ok := byName[mv.Name]; !ok {
+			names = append(names, mv.Name)
+		}
+		byName[mv.Name] = append(byName[mv.Name], mv)
+	}
+	for _, name := range names {
+		series := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, series[0].Kind); err != nil {
+			return err
+		}
+		for _, mv := range series {
+			if err := writeSeries(w, mv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, mv MetricValue) error {
+	if mv.Hist == nil {
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(mv.Name, mv.Labels, ""), mv.Value)
+		return err
+	}
+	s := mv.Hist
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		le := strconv.FormatFloat(float64(hi)/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			seriesName(mv.Name+"_bucket", mv.Labels, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n",
+		seriesName(mv.Name+"_bucket", mv.Labels, `le="+Inf"`), s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n",
+		seriesName(mv.Name+"_sum", mv.Labels, ""),
+		strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(mv.Name+"_count", mv.Labels, ""), s.Count)
+	return err
+}
+
+// seriesName renders name plus the union of the stored label string and
+// an extra label (the histogram le).
+func seriesName(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}

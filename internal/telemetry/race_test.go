@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistryRace hammers counters, gauges, histograms and
+// the event trace from many writers while readers scrape continuously —
+// the satellite race test run under -race in CI. It validates the core
+// claim: scrapes never block or corrupt the write side.
+func TestConcurrentRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perOp   = 2000
+	)
+	c := r.Counter("ftc_race_total")
+	g := r.Gauge("ftc_race_gauge")
+	h := r.Histogram("ftc_race_seconds")
+	r.GaugeFunc("ftc_race_fn", func() int64 { return c.Load() })
+	r.RegisterDebug("race", func() any { return c.Load() })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: Prometheus scrape, snapshot, debug snapshot, quantile.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.WritePrometheus(io.Discard)
+				snap := r.Snapshot()
+				for _, mv := range snap {
+					if mv.Hist != nil {
+						_ = mv.Hist.Quantile(0.99)
+					}
+				}
+				_ = r.DebugSnapshot(64)
+			}
+		}()
+	}
+
+	// Writers: counters, gauges, histogram observations, events, and
+	// concurrent registration of labeled series.
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			lbl := r.Counter("ftc_race_labeled_total", "w", string(rune('a'+w)))
+			for i := 0; i < perOp; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%1000) * 1000)
+				lbl.Inc()
+				if i%64 == 0 {
+					r.Trace().Emit(EventPFSFallback, "n0", "p", int64(i))
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Load(); got != writers*perOp {
+		t.Fatalf("counter = %d, want %d", got, writers*perOp)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perOp {
+		t.Fatalf("histogram count = %d, want %d", s.Count, writers*perOp)
+	}
+}
