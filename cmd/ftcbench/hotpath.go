@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ftcache"
+	"repro/internal/loadctl"
 	"repro/internal/workload"
 )
 
@@ -21,6 +23,10 @@ type hotpathConfig struct {
 	fileBytes int64
 	duration  time.Duration
 	seed      int64
+	skew         float64       // Zipf exponent; 0 = uniform
+	loadctl      bool          // enable client-side load control
+	admission    int           // per-server concurrent-read limit; 0 = unlimited
+	serviceDelay time.Duration // simulated per-read device service time
 }
 
 // runHotpath boots a live in-process cluster and hammers its read path
@@ -43,10 +49,16 @@ func runHotpath(cfg hotpathConfig) error {
 	if cfg.fileBytes < 0 {
 		return fmt.Errorf("-filebytes must be >= 0 (got %d)", cfg.fileBytes)
 	}
-	c, err := core.NewCluster(core.ClusterConfig{
-		Nodes:    cfg.nodes,
-		Strategy: ftcache.KindNVMe,
-	})
+	ccfg := core.ClusterConfig{
+		Nodes:          cfg.nodes,
+		Strategy:       ftcache.KindNVMe,
+		AdmissionLimit: cfg.admission,
+		ReadDelay:      cfg.serviceDelay,
+	}
+	if cfg.loadctl {
+		ccfg.LoadControl = &loadctl.Config{}
+	}
+	c, err := core.NewCluster(ccfg)
 	if err != nil {
 		return err
 	}
@@ -68,8 +80,9 @@ func runHotpath(cfg hotpathConfig) error {
 	}
 	c.FlushMovers()
 
-	fmt.Printf("hotpath: %d nodes, %d clients, %d files x %d B, %s\n",
-		cfg.nodes, cfg.clients, cfg.files, cfg.fileBytes, cfg.duration)
+	fmt.Printf("hotpath: %d nodes, %d clients, %d files x %d B, %s, skew=%.2f loadctl=%v admission=%d servicedelay=%s\n",
+		cfg.nodes, cfg.clients, cfg.files, cfg.fileBytes, cfg.duration,
+		cfg.skew, cfg.loadctl, cfg.admission, cfg.serviceDelay)
 
 	var (
 		reads atomic.Int64
@@ -89,14 +102,24 @@ func runHotpath(cfg hotpathConfig) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			// skew > 0 draws file indices Zipf-distributed — the hot-key
+			// regime loadctl exists for; skew = 0 keeps the uniform
+			// steady-state measurement.
+			var next func() int
+			if cfg.skew > 0 {
+				z := workload.NewZipf(cfg.skew, cfg.files, cfg.seed+int64(w))
+				next = z.Next
+			} else {
+				rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+				next = func() int { return rng.Intn(cfg.files) }
+			}
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				data, err := cli.Read(ctx, ds.FilePath(rng.Intn(cfg.files)))
+				data, err := cli.Read(ctx, ds.FilePath(next()))
 				if err != nil {
 					errCh <- fmt.Errorf("client %d: %w", w, err)
 					return
@@ -133,8 +156,65 @@ func runHotpath(cfg hotpathConfig) error {
 		fmt.Printf("  read p50     %s\n", fmtDur(lat.Quantile(0.5)))
 		fmt.Printf("  read p99     %s\n", fmtDur(lat.Quantile(0.99)))
 	}
+	printNodeShares(c)
+	printHotSplit()
 	printTelemetrySummary()
 	return nil
+}
+
+// printNodeShares reports each server's slice of the read traffic — the
+// load-balance signal the skew experiments are about. The max share is
+// the headline: with n nodes a perfectly balanced run shows 1/n.
+func printNodeShares(c *core.Cluster) {
+	nodes := c.AliveNodes()
+	var total int64
+	counts := make([]int64, len(nodes))
+	for i, n := range nodes {
+		counts[i] = c.Server(n).Reads()
+		total += counts[i]
+	}
+	if total == 0 {
+		return
+	}
+	maxShare := 0.0
+	fmt.Println("  per-node read share:")
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	for _, i := range order {
+		share := float64(counts[i]) / float64(total)
+		if share > maxShare {
+			maxShare = share
+		}
+		fmt.Printf("    %-12s %9d  %5.1f%%\n", nodes[i], counts[i], 100*share)
+	}
+	fmt.Printf("  max node share %.1f%% (balanced = %.1f%%)\n",
+		100*maxShare, 100/float64(len(nodes)))
+}
+
+// printHotSplit reports the latency split of hot-key reads by who
+// answered: the ring owner, a fanned-out replica, or a hedge leg.
+func printHotSplit() {
+	rows := []struct{ label, series string }{
+		{"owner", "ftc_client_read_owner_latency_seconds"},
+		{"replica", "ftc_client_read_replica_latency_seconds"},
+		{"hedged", "ftc_client_read_hedged_latency_seconds"},
+	}
+	printed := false
+	for _, r := range rows {
+		h := hotSplitSnapshot(r.series)
+		if h.Count == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("  hot-read latency by responder:")
+			printed = true
+		}
+		fmt.Printf("    %-8s count=%-8d p50=%-10s p99=%s\n",
+			r.label, h.Count, fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.99)))
+	}
 }
 
 func pct(part, whole int64) float64 {

@@ -31,6 +31,10 @@ func main() {
 	hpFiles := flag.Int("files", 512, "hotpath: files in the working set")
 	hpFileBytes := flag.Int64("filebytes", 4096, "hotpath: bytes per file")
 	hpDuration := flag.Duration("duration", 3*time.Second, "hotpath: measurement window")
+	hpSkew := flag.Float64("skew", 0, "hotpath: Zipf exponent of the access pattern (0 = uniform)")
+	hpLoadctl := flag.Bool("loadctl", false, "hotpath: enable client-side load control (coalescing, hot-key fan-out, hedged reads)")
+	hpAdmission := flag.Int("admission", 0, "hotpath: per-server concurrent-read admission limit (0 = unlimited)")
+	hpServiceDelay := flag.Duration("servicedelay", 0, "hotpath: simulated per-read device service time (0 = off)")
 	flag.Parse()
 
 	if *hotpath {
@@ -41,6 +45,10 @@ func main() {
 			fileBytes: *hpFileBytes,
 			duration:  *hpDuration,
 			seed:      *seed,
+			skew:         *hpSkew,
+			loadctl:      *hpLoadctl,
+			admission:    *hpAdmission,
+			serviceDelay: *hpServiceDelay,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

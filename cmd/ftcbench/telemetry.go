@@ -15,6 +15,11 @@ func readLatencySnapshot() telemetry.HistogramSnapshot {
 	return telemetry.Default().Histogram("ftc_client_read_latency_seconds").Snapshot()
 }
 
+// hotSplitSnapshot returns one of the loadctl responder histograms.
+func hotSplitSnapshot(series string) telemetry.HistogramSnapshot {
+	return telemetry.Default().Histogram(series).Snapshot()
+}
+
 // printTelemetrySummary dumps every non-zero series in the Default
 // registry as a fixed-width table — the ftcbench flavor of /metrics, so
 // a benchmark run ends with the same observables a scrape would show.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ftcache"
 	"repro/internal/hvac"
+	"repro/internal/loadctl"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -56,6 +57,20 @@ type ClusterConfig struct {
 	Replication int
 	// Network defaults to a fresh in-process network.
 	Network rpc.Network
+	// LoadControl, when non-nil, enables the hot-object load-control
+	// subsystem on every client this cluster hands out (see loadctl).
+	LoadControl *loadctl.Config
+	// AdmissionLimit enables server-side admission control: each server
+	// serves at most this many reads concurrently, queues AdmissionQueue
+	// more, and sheds the rest with an explicit overload status.
+	// <= 0 disables shedding.
+	AdmissionLimit int
+	// AdmissionQueue is the per-server wait-line depth; < 0 selects
+	// AdmissionLimit.
+	AdmissionQueue int
+	// ReadDelay simulates per-read device service time on every server,
+	// giving nodes finite capacity (see hvac.ServerConfig.ReadDelay).
+	ReadDelay time.Duration
 }
 
 // Cluster is a running FT-Cache deployment.
@@ -93,8 +108,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := 0; i < cfg.Nodes; i++ {
 		node := NodeID(fmt.Sprintf("node-%04d", i))
 		srv := hvac.NewServer(hvac.ServerConfig{
-			Node:         node,
-			NVMeCapacity: cfg.NVMeCapacity,
+			Node:           node,
+			NVMeCapacity:   cfg.NVMeCapacity,
+			AdmissionLimit: cfg.AdmissionLimit,
+			AdmissionQueue: cfg.AdmissionQueue,
+			ReadDelay:      cfg.ReadDelay,
 		}, c.pfs)
 		lis, err := network.Listen(string(node))
 		if err != nil {
@@ -137,6 +155,7 @@ func (c *Cluster) NewClient() (*hvac.Client, hvac.Router, error) {
 		RPCTimeout:        c.cfg.RPCTimeout,
 		TimeoutLimit:      c.cfg.TimeoutLimit,
 		ReplicationFactor: c.cfg.Replication,
+		LoadControl:       c.cfg.LoadControl,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -183,8 +202,11 @@ func (c *Cluster) Revive(node NodeID) error {
 	} else {
 		// Hard-killed: boot a replacement daemon under the same identity.
 		fresh := hvac.NewServer(hvac.ServerConfig{
-			Node:         node,
-			NVMeCapacity: c.cfg.NVMeCapacity,
+			Node:           node,
+			NVMeCapacity:   c.cfg.NVMeCapacity,
+			AdmissionLimit: c.cfg.AdmissionLimit,
+			AdmissionQueue: c.cfg.AdmissionQueue,
+			ReadDelay:      c.cfg.ReadDelay,
 		}, c.pfs)
 		lis, err := c.network.Listen(string(node))
 		if err != nil {

@@ -98,7 +98,9 @@ func TestReplicationOnMissPath(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	cli.WaitReplication()
+	if err := cli.WaitReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
 	c.FlushMovers()
 
 	if pushes := cli.Stats().ReplicaPushes; pushes != int64(ds.NumFiles) {

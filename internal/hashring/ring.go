@@ -367,6 +367,17 @@ func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
 	return out, true
 }
 
+// Successors returns up to n distinct physical nodes following key's
+// owner clockwise — the replica targets for hot-object fan-out. It is
+// Owners(key, n+1) minus the owner itself; ok is false on an empty ring.
+func (r *Ring) Successors(key string, n int) ([]NodeID, bool) {
+	owners, ok := r.Owners(key, n+1)
+	if !ok || len(owners) == 0 {
+		return nil, ok
+	}
+	return owners[1:], true
+}
+
 // Nodes returns the physical members in sorted order (stable for tests
 // and deterministic experiment output).
 func (r *Ring) Nodes() []NodeID {

@@ -169,6 +169,30 @@ func TestOwnersMoreThanMembers(t *testing.T) {
 	}
 }
 
+func TestSuccessorsExcludeOwner(t *testing.T) {
+	nodes := nodeNames(8)
+	r := NewWithNodes(Config{VirtualNodes: 30}, nodes)
+	for _, k := range fileKeys(50) {
+		owner, _ := r.Owner(k)
+		succ, ok := r.Successors(k, 3)
+		if !ok || len(succ) != 3 {
+			t.Fatalf("Successors(%q,3) = %v ok=%v", k, succ, ok)
+		}
+		owners, _ := r.Owners(k, 4)
+		for i, s := range succ {
+			if s == owner {
+				t.Fatalf("successor %q equals owner for key %q", s, k)
+			}
+			if s != owners[i+1] {
+				t.Fatalf("Successors order diverges from Owners for %q: %v vs %v", k, succ, owners)
+			}
+		}
+	}
+	if succ, ok := New(Config{}).Successors("k", 2); ok || succ != nil {
+		t.Fatalf("empty ring Successors = %v ok=%v, want nil/false", succ, ok)
+	}
+}
+
 func TestBalanceImprovesWithVirtualNodes(t *testing.T) {
 	nodes := nodeNames(32)
 	cvAt := func(v int) float64 {

@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/loadctl"
 	"repro/internal/rpc"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // DecisionKind says where a read should go.
@@ -73,6 +75,9 @@ var (
 	ErrNotFound = errors.New("hvac: file not found")
 	// ErrExhausted: retries exhausted without a successful read.
 	ErrExhausted = errors.New("hvac: read attempts exhausted")
+	// ErrOverloaded: the server shed the request (admission control). The
+	// node is alive — this is a redirect signal, never failure evidence.
+	ErrOverloaded = errors.New("hvac: server overloaded")
 )
 
 // ClientConfig configures an HVAC client instance.
@@ -98,6 +103,11 @@ type ClientConfig struct {
 	// ReplicationFactor, when > 1 and the Router implements Replicator,
 	// pushes PFS-fetched objects to that many distinct ring owners.
 	ReplicationFactor int
+	// LoadControl enables the hot-object load-control subsystem (read
+	// coalescing, hot-key detection, replica fan-out with hedged reads).
+	// nil leaves the client's behavior exactly as before. Replica fan-out
+	// additionally requires the Router to implement Replicator.
+	LoadControl *loadctl.Config
 }
 
 // ClientStats are cumulative per-client counters.
@@ -111,6 +121,13 @@ type ClientStats struct {
 	Timeouts      int64 // RPC timeouts observed
 	FailoverReads int64 // reads that needed more than one attempt
 	ReplicaPushes int64 // replica writes issued (replication extension)
+
+	// Load-control counters (zero unless LoadControl is configured).
+	CoalescedReads int64 // reads served by joining another caller's flight
+	HedgedReads    int64 // hedge legs launched
+	HedgeWins      int64 // reads won by the hedged leg
+	HotPushes      int64 // hot-object replica pushes issued
+	ShedRedirects  int64 // overload sheds redirected to replica/PFS
 }
 
 // Client is the application-side HVAC library: the stand-in for the
@@ -131,6 +148,14 @@ type Client struct {
 	timeouts      atomic.Int64
 	failoverReads atomic.Int64
 	replicaPushes atomic.Int64
+
+	// load is the optional hot-object load-control state (nil = off).
+	load           *loadctl.Controller
+	coalescedReads atomic.Int64
+	hedgedReads    atomic.Int64
+	hedgeWins      atomic.Int64
+	hotPushes      atomic.Int64
+	shedRedirects  atomic.Int64
 
 	// replSem bounds concurrent async replica pushes.
 	replSem chan struct{}
@@ -180,8 +205,20 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if ra, ok := cfg.Router.(RecoveryAware); ok {
 		c.tracker.OnRecovery(ra.NodeRecovered)
 	}
+	if cfg.LoadControl != nil {
+		c.load = loadctl.New(*cfg.LoadControl, nodes)
+		// Registered after the router hookups: by the time the fan-out
+		// record is invalidated, the ring has already re-shaped, so
+		// successor sets recomputed afterwards see the new membership.
+		c.tracker.OnFailure(func(cluster.NodeID) { c.load.InvalidateReplicas() })
+		c.tracker.OnRecovery(func(cluster.NodeID) { c.load.InvalidateReplicas() })
+		telemetry.Default().RegisterDebug("loadctl", func() any { return c.load.DebugSnapshot() })
+	}
 	return c, nil
 }
+
+// LoadControl exposes the load-control state (nil when disabled).
+func (c *Client) LoadControl() *loadctl.Controller { return c.load }
 
 // ReviveNode re-admits a failed node (elastic scale-up): the failure
 // detector clears its state and, if the router is RecoveryAware, routing
@@ -216,6 +253,12 @@ func (c *Client) Stats() ClientStats {
 		Timeouts:      c.timeouts.Load(),
 		FailoverReads: c.failoverReads.Load(),
 		ReplicaPushes: c.replicaPushes.Load(),
+
+		CoalescedReads: c.coalescedReads.Load(),
+		HedgedReads:    c.hedgedReads.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		HotPushes:      c.hotPushes.Load(),
+		ShedRedirects:  c.shedRedirects.Load(),
 	}
 }
 
@@ -280,6 +323,62 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 		c.latency.Add(ms)
 		c.latMu.Unlock()
 	}()
+	// Whole-file reads through a load-controlled client coalesce:
+	// concurrent readers of one path share a single flight. Range reads
+	// stay independent — different ranges of one path are different work.
+	if c.load != nil && offset == 0 && length < 0 {
+		return c.readCoalesced(ctx, path)
+	}
+	return c.readAttempts(ctx, path, offset, length)
+}
+
+// coalesceRetries bounds how often a waiter re-enters the flight group
+// after inheriting a transient failure from a flight winner. Each retry
+// either joins a newer flight or becomes the winner itself (running the
+// full readAttempts failover loop), so a small bound suffices.
+const coalesceRetries = 3
+
+// fullReadFetcher adapts the client's failover read loop to the
+// coalescing group's Fetcher interface; the pointer conversion is
+// allocation-free on the per-read path.
+type fullReadFetcher Client
+
+// Fetch implements loadctl.Fetcher: a whole-file read via readAttempts.
+func (f *fullReadFetcher) Fetch(ctx context.Context, path string) ([]byte, error) {
+	return (*Client)(f).readAttempts(ctx, path, 0, -1)
+}
+
+// readCoalesced funnels a whole-file read through the singleflight
+// group. Waiters inherit the winner's outcome; a waiter that inherits a
+// transient error (the winner timed out, its context died, or it
+// panicked) retries while its own context is live, because the failure
+// may have been specific to the winner, not to the key.
+func (c *Client) readCoalesced(ctx context.Context, path string) ([]byte, error) {
+	var data []byte
+	var err error
+	var shared bool
+	for try := 0; try <= coalesceRetries; try++ {
+		data, err, shared = c.load.Coalesce.Do(ctx, path, (*fullReadFetcher)(c))
+		if shared {
+			c.coalescedReads.Add(1)
+			cliMetrics().coalesced.Inc()
+		}
+		if err == nil || !shared || ctx.Err() != nil {
+			return data, err
+		}
+		// Definitive outcomes are shared as-is; only transient inherited
+		// failures are retried.
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrAborted) {
+			return nil, err
+		}
+	}
+	return data, err
+}
+
+// readAttempts is the routing/failover loop: route, read, note evidence,
+// re-route — bounded by MaxAttempts.
+func (c *Client) readAttempts(ctx context.Context, path string, offset, length int64) ([]byte, error) {
+	m := cliMetrics()
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt == 1 {
 			c.failoverReads.Add(1)
@@ -292,27 +391,10 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 			return nil, ErrAborted
 
 		case RoutePFS:
-			if c.cfg.PFS == nil {
-				return nil, errors.New("hvac: RoutePFS without a PFS handle")
-			}
-			data, err := c.cfg.PFS.Get(path)
-			if err != nil {
-				if errors.Is(err, storage.ErrNotFound) {
-					return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
-				}
-				return nil, err
-			}
-			body, ok := slice(data, offset, length)
-			if !ok {
-				return nil, fmt.Errorf("hvac: range out of bounds for %s", path)
-			}
-			c.directPFS.Add(1)
-			m.directPFS.Inc()
-			c.directBytes.Add(int64(len(body)))
-			return body, nil
+			return c.readPFS(path, offset, length)
 
 		case RouteNode:
-			data, err := c.readFromNode(ctx, d.Node, path, offset, length)
+			data, err := c.readRouted(ctx, d.Node, path, offset, length)
 			if err == nil {
 				return data, nil
 			}
@@ -321,6 +403,19 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 			}
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
+			}
+			if errors.Is(err, ErrOverloaded) {
+				// The whole candidate set shed the request: the data is
+				// hot beyond what the cache tier will serve right now.
+				// Fall through to the PFS if we can — that converts an
+				// overload wall into bounded extra PFS traffic — else
+				// loop and retry (the shed queue drains in milliseconds).
+				c.shedRedirects.Add(1)
+				m.shedRedirects.Inc()
+				if c.cfg.PFS != nil {
+					return c.readPFS(path, offset, length)
+				}
+				continue
 			}
 			// Timeout or connection failure: evidence recorded, re-route.
 			continue
@@ -332,43 +427,111 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 	return nil, fmt.Errorf("%w: %s", ErrExhausted, path)
 }
 
-// readFromNode performs one RPC read attempt against node.
+// readPFS serves a read directly from the parallel filesystem.
+func (c *Client) readPFS(path string, offset, length int64) ([]byte, error) {
+	if c.cfg.PFS == nil {
+		return nil, errors.New("hvac: RoutePFS without a PFS handle")
+	}
+	data, err := c.cfg.PFS.Get(path)
+	if err != nil {
+		if errors.Is(err, storage.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		return nil, err
+	}
+	body, ok := slice(data, offset, length)
+	if !ok {
+		return nil, fmt.Errorf("hvac: range out of bounds for %s", path)
+	}
+	c.directPFS.Add(1)
+	cliMetrics().directPFS.Inc()
+	c.directBytes.Add(int64(len(body)))
+	return body, nil
+}
+
+// readRouted performs one routed read attempt. Without load control it
+// is a plain owner read; with it, the access feeds the hot-key sketch
+// and reads of hot keys fan out over the owner's replica set.
+func (c *Client) readRouted(ctx context.Context, node cluster.NodeID, path string, offset, length int64) ([]byte, error) {
+	if c.load == nil {
+		return c.readFromNode(ctx, node, path, offset, length)
+	}
+	if c.load.Sketch.Touch(path) {
+		return c.readHot(ctx, node, path, offset, length)
+	}
+	return c.readFromNode(ctx, node, path, offset, length)
+}
+
+// readFromNode performs one RPC read attempt against node, recording
+// failure evidence against it.
 func (c *Client) readFromNode(ctx context.Context, node cluster.NodeID, path string, offset, length int64) ([]byte, error) {
+	return c.readFromNodeOpts(ctx, node, path, offset, length, true)
+}
+
+// readFromNodeOpts is the RPC read primitive. note controls whether a
+// timeout feeds the failure detector: the hot-key fan-out path passes
+// false because a hedged or raced leg is expected to be abandoned — a
+// leg cancelled since a sibling won must never accumulate as evidence
+// against a healthy node (the fan-out notes the primary itself, once,
+// only on total failure).
+func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path string, offset, length int64, note bool) ([]byte, error) {
 	cli, err := c.conn(node)
 	if err != nil {
 		// Dial failure is failure evidence just like a timeout.
-		c.noteTimeout(node)
+		if note {
+			c.noteTimeout(node)
+		}
 		return nil, err
 	}
 	req := ReadReq{Path: path, Offset: offset, Length: length}
+	start := time.Now()
 	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
 	payload, status, err := cli.Call(callCtx, OpRead, req.Marshal())
 	cancel()
 	if err != nil {
 		switch {
 		case errors.Is(err, rpc.ErrTimeout):
-			c.noteTimeout(node)
+			if note {
+				c.noteTimeout(node)
+			}
 		case errors.Is(err, rpc.ErrClosed):
-			c.noteTimeout(node)
+			if note {
+				c.noteTimeout(node)
+			}
 			c.dropConn(node)
 		case ctx.Err() != nil:
 			return nil, ctx.Err()
 		default:
-			c.noteTimeout(node)
+			if note {
+				c.noteTimeout(node)
+			}
 		}
 		return nil, err
 	}
+	// Any answer — including an overload shed — proves the node alive.
 	c.tracker.RecordSuccess(node)
+	elapsed := time.Since(start)
+	if c.load != nil {
+		c.load.Latency.Observe(node, elapsed)
+	}
 	switch status {
 	case rpc.StatusOK:
 	case StatusNotFound:
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	case StatusOverloaded:
+		return nil, fmt.Errorf("%w: %s", ErrOverloaded, node)
 	default:
 		return nil, fmt.Errorf("hvac: server error status %d: %s", status, payload)
 	}
 	var resp ReadResp
 	if err := resp.Unmarshal(payload); err != nil {
 		return nil, err
+	}
+	// Only ordinary (non-raced) successes feed the hedge-delay p99:
+	// fan-out legs complete near the hedge delay by construction and
+	// would ratchet the estimate downward.
+	if c.load != nil && note {
+		c.load.Hedge.Observe(elapsed)
 	}
 	c.remoteReads.Add(1)
 	c.remoteBytes.Add(int64(len(resp.Data)))
@@ -385,6 +548,191 @@ func (c *Client) readFromNode(ctx context.Context, node cluster.NodeID, path str
 		}
 	}
 	return resp.Data, nil
+}
+
+// readHot serves a read of a sketch-flagged hot key: the candidate set
+// is the owner plus its live ring successors, the first target is chosen
+// by power-of-two-choices over observed latency, and a hedge leg races a
+// second candidate when the first exceeds the running p99. On a
+// successful whole-file read the object is fanned out to the successors
+// (once per key per ring epoch) so future reads find warm replicas.
+func (c *Client) readHot(ctx context.Context, owner cluster.NodeID, path string, offset, length int64) ([]byte, error) {
+	cands := c.hotCandidates(owner, path)
+	if len(cands) <= 1 {
+		return c.readFromNode(ctx, owner, path, offset, length)
+	}
+	data, err := c.readFanout(ctx, owner, cands, path, offset, length)
+	if err == nil && offset == 0 && length < 0 {
+		c.maybePushHot(path, data)
+	}
+	return data, err
+}
+
+// hotCandidates returns the live replica set for path: the ring owner
+// first, then its successors. Falls back to just the routed owner when
+// the router cannot enumerate replicas.
+func (c *Client) hotCandidates(owner cluster.NodeID, path string) []cluster.NodeID {
+	repl, ok := c.cfg.Router.(Replicator)
+	if !ok {
+		return []cluster.NodeID{owner}
+	}
+	owners := repl.Replicas(path, 1+c.load.Config().Replicas)
+	cands := make([]cluster.NodeID, 0, len(owners))
+	for _, n := range owners {
+		if c.tracker.IsAlive(n) {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return []cluster.NodeID{owner}
+	}
+	return cands
+}
+
+// readFanout races a hot read over cands. One leg launches immediately
+// (picked by p2c over observed latency); the hedge timer or a leg
+// failure launches the next candidate. The first success wins and
+// cancels the rest. ErrNotFound is definitive and short-circuits.
+// Failure evidence is recorded against the primary only, once, and only
+// when every candidate failed with a timeout-class error — raced legs
+// individually never touch the failure detector.
+func (c *Client) readFanout(ctx context.Context, primary cluster.NodeID, cands []cluster.NodeID, path string, offset, length int64) ([]byte, error) {
+	m := cliMetrics()
+	order := make([]cluster.NodeID, 0, len(cands))
+	first := c.load.Latency.Pick(cands)
+	order = append(order, first)
+	for _, n := range cands {
+		if n != first {
+			order = append(order, n)
+		}
+	}
+
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type legResult struct {
+		node   cluster.NodeID
+		data   []byte
+		err    error
+		hedged bool
+	}
+	// Buffered to the fan-out width: losing legs complete into the
+	// buffer after we return and their goroutines exit — no leak.
+	results := make(chan legResult, len(order))
+	start := time.Now()
+	launched := 0
+	launch := func(hedged bool) {
+		node := order[launched]
+		launched++
+		go func() {
+			data, err := c.readFromNodeOpts(fanCtx, node, path, offset, length, false)
+			results <- legResult{node: node, data: data, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if delay, ok := c.load.Hedge.Delay(); ok {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	outstanding := 1
+	var firstErr error
+	timeoutClass := true
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(order) {
+				c.hedgedReads.Add(1)
+				m.hedges.Inc()
+				launch(true)
+				outstanding++
+			}
+
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				elapsed := int64(time.Since(start))
+				switch {
+				case r.hedged:
+					c.hedgeWins.Add(1)
+					m.hedgeWins.Inc()
+					m.hedgeLatency.Observe(elapsed)
+				case r.node == primary:
+					m.ownerLatency.Observe(elapsed)
+				default:
+					m.replLatency.Observe(elapsed)
+				}
+				return r.data, nil
+			}
+			if errors.Is(r.err, ErrNotFound) {
+				return nil, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !errors.Is(r.err, rpc.ErrTimeout) && !errors.Is(r.err, rpc.ErrClosed) {
+				timeoutClass = false
+			}
+			if errors.Is(r.err, ErrOverloaded) {
+				c.shedRedirects.Add(1)
+				m.shedRedirects.Inc()
+			}
+			// A failed leg is an immediate go-signal for the next
+			// candidate — no point waiting for the hedge timer.
+			if launched < len(order) {
+				launch(r.hedged)
+				outstanding++
+			} else if outstanding == 0 {
+				if timeoutClass && ctx.Err() == nil {
+					// Every candidate timed out: that is genuine evidence
+					// against the primary this read was routed to.
+					c.noteTimeout(primary)
+				}
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// maybePushHot fans a hot object out to the owner's ring successors,
+// once per key per ring epoch (the record resets on any membership
+// change). Pushes ride the same bounded async machinery as replication;
+// failures are best-effort — a missed replica only means that server
+// self-fills from the PFS on its first fanned-out read.
+func (c *Client) maybePushHot(path string, data []byte) {
+	repl, ok := c.cfg.Router.(Replicator)
+	if !ok || c.closed.Load() || !c.load.MarkPushed(path) {
+		return
+	}
+	owners := repl.Replicas(path, 1+c.load.Config().Replicas)
+	if len(owners) <= 1 {
+		return
+	}
+	telemetry.TraceEvent(telemetry.EventHotKey, "", path, int64(len(data)))
+	// Copy once: data may alias an RPC response buffer.
+	body := append([]byte(nil), data...)
+	for _, node := range owners[1:] {
+		if !c.tracker.IsAlive(node) {
+			continue
+		}
+		node := node
+		c.replWG.Add(1)
+		c.replSem <- struct{}{}
+		go func() {
+			defer c.replWG.Done()
+			defer func() { <-c.replSem }()
+			if err := c.Push(context.Background(), node, path, body); err == nil {
+				c.hotPushes.Add(1)
+				cliMetrics().hotPush.Inc()
+			}
+		}()
+	}
 }
 
 // replicateAsync pushes data to the secondary ring owners of path,
@@ -435,9 +783,24 @@ func (c *Client) Push(ctx context.Context, node cluster.NodeID, path string, dat
 	return nil
 }
 
-// WaitReplication blocks until all in-flight replica pushes finish —
-// used by tests and epoch boundaries that need determinism.
-func (c *Client) WaitReplication() { c.replWG.Wait() }
+// WaitReplication blocks until all in-flight replica pushes finish or
+// ctx expires — used by tests and epoch boundaries that need
+// determinism. The pushes themselves keep running after a ctx-triggered
+// return (they are bounded by the replication semaphore and fail fast
+// once connections drop); only the wait is abandoned.
+func (c *Client) WaitReplication(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		c.replWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Stat returns size and cache residency of path from its current owner.
 func (c *Client) Stat(ctx context.Context, path string) (StatResp, error) {

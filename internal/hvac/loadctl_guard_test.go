@@ -1,0 +1,95 @@
+//go:build benchguard
+
+package hvac
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/loadctl"
+)
+
+// benchUniformRead measures the client read path over an in-process
+// cluster under a uniform (no hot key) workload, with load control on
+// or off. Uniform is the regime where loadctl must be near-free: every
+// read pays the sampled sketch touch and the coalescing map, and
+// nothing ever goes hot — 512 distinct keys keep every key's share at
+// ~0.2%, far under the 1% hot threshold.
+func benchUniformRead(b *testing.B, enabled bool) {
+	tc := newLoadctlCluster(b, 2, ServerConfig{})
+	const files = 512
+	paths := make([]string, files)
+	for i := 0; i < files; i++ {
+		paths[i] = fmt.Sprintf("bench/f%d", i)
+		body := []byte(fmt.Sprintf("payload-%d", i))
+		tc.pfs.Put(paths[i], body)
+		tc.servers["node-00"].NVMe().Put(paths[i], body)
+	}
+	cfg := ClientConfig{
+		Router:     newReplRouter(tc.nodes),
+		RPCTimeout: 2 * time.Second,
+	}
+	if enabled {
+		cfg.LoadControl = &loadctl.Config{}
+	}
+	c := tc.client(cfg)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(ctx, paths[i%files]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// TestLoadctlOverheadGuard fails when enabling load control costs more
+// than the guard threshold on a uniform workload — the regime where the
+// subsystem must be pure overhead-free bookkeeping (sampled sketch
+// touch + singleflight map). The documented budget is 5%; the guard
+// trips at 30% because single-shot in-process runs on shared CI
+// machines jitter far more than the budget, and the guard's job is to
+// catch an accidental lock, allocation or fan-out on the uniform path,
+// not to benchstat a small drift.
+//
+// Gated behind the benchguard tag so ordinary `go test ./...` stays
+// fast and deterministic:
+//
+//	go test -tags benchguard -run TestLoadctlOverheadGuard ./internal/hvac/
+func TestLoadctlOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	// Interleave on/off pairs and keep the best of each: minimums are far
+	// more robust to scheduler noise than means on a shared runner, and
+	// alternating the two sides keeps slow background drift (GC state,
+	// CPU frequency, co-tenants) from loading onto one side only.
+	run := func(enabled bool) float64 {
+		r := testing.Benchmark(func(b *testing.B) { benchUniformRead(b, enabled) })
+		return float64(r.NsPerOp())
+	}
+	var on, off float64
+	for i := 0; i < 3; i++ {
+		var a, b float64
+		if i%2 == 0 { // alternate which side warms the pair
+			a = run(true)
+			b = run(false)
+		} else {
+			b = run(false)
+			a = run(true)
+		}
+		if on == 0 || a < on {
+			on = a
+		}
+		if off == 0 || b < off {
+			off = b
+		}
+	}
+	overhead := (on - off) / off
+	t.Logf("uniform read: loadctl on %.0f ns/op, off %.0f ns/op, overhead %+.1f%%", on, off, 100*overhead)
+	if overhead > 0.30 {
+		t.Errorf("loadctl overhead %.1f%% exceeds 30%% guard threshold (budget is 5%% under benchstat conditions)", 100*overhead)
+	}
+}

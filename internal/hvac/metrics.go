@@ -21,6 +21,16 @@ type clientMetrics struct {
 	failovers   *telemetry.Counter   // reads that needed more than one attempt
 	replicaPush *telemetry.Counter   // replica writes issued
 	aborts      *telemetry.Counter   // reads terminated by RouteAbort (NoFT)
+
+	// Load-control series (all zero unless ClientConfig.LoadControl set).
+	coalesced     *telemetry.Counter   // reads served by joining another caller's flight
+	hedges        *telemetry.Counter   // hedge legs launched
+	hedgeWins     *telemetry.Counter   // reads won by the hedged leg
+	hotPush       *telemetry.Counter   // hot-object replica pushes issued
+	shedRedirects *telemetry.Counter   // overload sheds redirected to replica/PFS
+	ownerLatency  *telemetry.Histogram // hot reads answered by the ring owner
+	replLatency   *telemetry.Histogram // hot reads answered by a replica
+	hedgeLatency  *telemetry.Histogram // hot reads answered by a hedge leg
 }
 
 var (
@@ -41,6 +51,15 @@ func cliMetrics() *clientMetrics {
 			failovers:   reg.Counter("ftc_client_failover_reads_total"),
 			replicaPush: reg.Counter("ftc_client_replica_pushes_total"),
 			aborts:      reg.Counter("ftc_client_aborts_total"),
+
+			coalesced:     reg.Counter("ftc_client_coalesced_reads_total"),
+			hedges:        reg.Counter("ftc_client_hedged_reads_total"),
+			hedgeWins:     reg.Counter("ftc_client_hedge_wins_total"),
+			hotPush:       reg.Counter("ftc_client_hot_pushes_total"),
+			shedRedirects: reg.Counter("ftc_client_shed_redirects_total"),
+			ownerLatency:  reg.Histogram("ftc_client_read_owner_latency_seconds"),
+			replLatency:   reg.Histogram("ftc_client_read_replica_latency_seconds"),
+			hedgeLatency:  reg.Histogram("ftc_client_read_hedged_latency_seconds"),
 		}
 	})
 	return cliMetricsInst
@@ -60,6 +79,10 @@ func (s *Server) registerTelemetry() {
 
 	reg.CounterFunc("ftc_server_reads_total", s.reads.Load, "node", node)
 	reg.CounterFunc("ftc_server_pfs_fallbacks_total", s.pfsFallbacks.Load, "node", node)
+	if s.limiter != nil {
+		reg.CounterFunc("ftc_server_sheds_total", s.limiter.Sheds, "node", node)
+		reg.GaugeFunc("ftc_server_admission_inflight", s.limiter.Inflight, "node", node)
+	}
 
 	reg.CounterFunc("ftc_server_nvme_hits_total", func() int64 { h, _, _ := nvme.Counters(); return h }, "node", node)
 	reg.CounterFunc("ftc_server_nvme_misses_total", func() int64 { _, m, _ := nvme.Counters(); return m }, "node", node)
@@ -83,7 +106,7 @@ func (s *Server) debugSnapshot() any {
 	hits, misses, evictions := s.nvme.Counters()
 	enq, drop := s.mover.Counters()
 	inline, fillErrs, lastErr := s.mover.FillStats()
-	return map[string]any{
+	snap := map[string]any{
 		"node":            string(s.cfg.Node),
 		"nvme_objects":    objects,
 		"nvme_bytes":      bytes,
@@ -102,4 +125,15 @@ func (s *Server) debugSnapshot() any {
 		"queue_depth":     s.mover.QueueDepth(),
 		"unresponsive":    s.Unresponsive(),
 	}
+	if s.limiter != nil {
+		admitted, queued, shed := s.limiter.Stats()
+		snap["admission"] = map[string]any{
+			"limit":    s.cfg.AdmissionLimit,
+			"inflight": s.limiter.Inflight(),
+			"admitted": admitted,
+			"queued":   queued,
+			"shed":     shed,
+		}
+	}
+	return snap
 }

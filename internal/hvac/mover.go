@@ -70,7 +70,7 @@ func NewMover(nvme *storage.NVMe, queueDepth, workers int) *Mover {
 // failed Put was discarded silently, which made "why is this file never
 // cached?" undiagnosable; failures are now counted and the most recent
 // one is kept for the debug snapshot.
-func (m *Mover) fill(path string, data []byte, inlined bool) {
+func (m *Mover) fill(path string, data []byte, inlined bool) error {
 	if inlined {
 		m.inline.Add(1)
 	}
@@ -79,9 +79,19 @@ func (m *Mover) fill(path string, data []byte, inlined bool) {
 		m.errMu.Lock()
 		m.lastErr = path + ": " + err.Error()
 		m.errMu.Unlock()
-		return
+		return err
 	}
 	telemetry.TraceEvent(telemetry.EventRecacheFileDone, m.node, path, int64(len(data)))
+	return nil
+}
+
+// FillSync stores one object synchronously through the mover's fill
+// accounting and tracing. Replica writes use it: the pusher made the
+// operation async on its side and wants a durable acknowledgement, and
+// routing the store through here keeps every cache fill — first-touch,
+// recache, or replica push — visible in the same counters.
+func (m *Mover) FillSync(path string, data []byte) error {
+	return m.fill(path, data, false)
 }
 
 func (m *Mover) run() {

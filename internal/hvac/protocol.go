@@ -42,6 +42,13 @@ const (
 	StatusNotFound uint16 = 1
 	// StatusError: an internal server failure.
 	StatusError uint16 = 2
+	// StatusOverloaded: the server's admission controller shed the
+	// request. The server is alive and answering — clients must treat
+	// this as a redirect signal (try a replica or the PFS), never as
+	// failure-detector evidence. Placed at the top of the status space,
+	// just below rpc.StatusPanic (0xFFFF), to stay clear of future
+	// application statuses.
+	StatusOverloaded uint16 = 0xFFFE
 )
 
 // Data sources reported in read responses.

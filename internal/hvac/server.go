@@ -3,8 +3,10 @@ package hvac
 import (
 	"net"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/loadctl"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -19,16 +21,38 @@ type ServerConfig struct {
 	// MoverQueueDepth and MoverWorkers size the background data mover.
 	MoverQueueDepth int
 	MoverWorkers    int
+	// AdmissionLimit bounds concurrently served reads; excess requests
+	// queue (AdmissionQueue deep, for at most AdmissionWait) and are then
+	// shed with StatusOverloaded. <= 0 disables admission control.
+	AdmissionLimit int
+	// AdmissionQueue is the wait-line depth; < 0 selects AdmissionLimit.
+	AdmissionQueue int
+	// AdmissionWait bounds the queue wait; <= 0 selects
+	// loadctl.DefaultAdmissionWait.
+	AdmissionWait time.Duration
+	// ReadDelay simulates the device/network service time of one read.
+	// When > 0, each read holds one of readDeviceWidth device slots for
+	// this long, giving every node finite serving capacity — so queueing
+	// at an overloaded node is real wall-clock time even when the whole
+	// in-process cluster shares one core. 0 (the default) disables the
+	// simulation entirely.
+	ReadDelay time.Duration
 }
+
+// readDeviceWidth is the number of simulated reads a node's device
+// serves concurrently when ReadDelay is set (an NVMe-like queue width).
+const readDeviceWidth = 4
 
 // Server is one node's HVAC daemon: it owns the node-local NVMe cache
 // and falls back to the shared PFS on miss.
 type Server struct {
-	cfg   ServerConfig
-	nvme  *storage.NVMe
-	pfs   storage.Store
-	mover *Mover
-	rpc   *rpc.Server
+	cfg     ServerConfig
+	nvme    *storage.NVMe
+	pfs     storage.Store
+	mover   *Mover
+	rpc     *rpc.Server
+	limiter *loadctl.Limiter // nil → admission control disabled
+	device  chan struct{}    // simulated device slots; nil → no ReadDelay
 
 	reads        atomic.Int64
 	pfsFallbacks atomic.Int64
@@ -38,9 +62,13 @@ type Server struct {
 // in for the mounted Lustre filesystem every Frontier node sees.
 func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
 	s := &Server{
-		cfg:  cfg,
-		nvme: storage.NewNVMe(cfg.NVMeCapacity),
-		pfs:  pfs,
+		cfg:     cfg,
+		nvme:    storage.NewNVMe(cfg.NVMeCapacity),
+		pfs:     pfs,
+		limiter: loadctl.NewLimiter(cfg.AdmissionLimit, cfg.AdmissionQueue, cfg.AdmissionWait),
+	}
+	if cfg.ReadDelay > 0 {
+		s.device = make(chan struct{}, readDeviceWidth)
 	}
 	s.mover = NewMover(s.nvme, cfg.MoverQueueDepth, cfg.MoverWorkers)
 	s.mover.node = string(cfg.Node)
@@ -57,6 +85,13 @@ func (s *Server) NVMe() *storage.NVMe { return s.nvme }
 
 // Mover exposes the data mover (tests flush it for determinism).
 func (s *Server) Mover() *Mover { return s.mover }
+
+// Limiter exposes the admission controller (nil when disabled).
+func (s *Server) Limiter() *loadctl.Limiter { return s.limiter }
+
+// Reads returns the cumulative OpRead count — the per-node load signal
+// the skew experiments report as read share.
+func (s *Server) Reads() int64 { return s.reads.Load() }
 
 // Serve runs the RPC loop on lis until Close.
 func (s *Server) Serve(lis net.Listener) error { return s.rpc.Serve(lis) }
@@ -79,6 +114,16 @@ func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
 	case OpPing:
 		return rpc.StatusOK, nil
 	case OpRead:
+		// Admission gate: only reads are limited — control-plane ops
+		// (ping, stats) must keep answering under overload so liveness
+		// probes and observability stay truthful, and puts are already
+		// bounded by the pusher's semaphore.
+		if s.limiter != nil {
+			if !s.limiter.Acquire() {
+				return StatusOverloaded, nil
+			}
+			defer s.limiter.Release()
+		}
 		return s.handleRead(payload)
 	case OpStat:
 		return s.handleStat(payload)
@@ -95,15 +140,21 @@ func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
 
 // handlePut accepts a replica write: the pusher already holds the bytes,
 // so the copy goes straight to NVMe (synchronously — the caller made it
-// async on its side and wants a durable acknowledgement).
+// async on its side and wants a durable acknowledgement). Writes for
+// already-cached paths are acknowledged without storing: hot-object
+// fan-out means many clients may push the same object, and re-storing
+// identical bytes only churns the LRU.
 func (s *Server) handlePut(payload []byte) (uint16, []byte) {
 	var req PutReq
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
 	}
+	if s.nvme.Has(req.Path) {
+		return rpc.StatusOK, nil
+	}
 	// The payload aliases the RPC buffer; copy before retaining.
 	data := append([]byte(nil), req.Data...)
-	if err := s.nvme.Put(req.Path, data); err != nil {
+	if err := s.mover.FillSync(req.Path, data); err != nil {
 		return StatusError, []byte(err.Error())
 	}
 	return rpc.StatusOK, nil
@@ -117,6 +168,11 @@ func (s *Server) handleRead(payload []byte) (uint16, []byte) {
 		return StatusError, []byte(err.Error())
 	}
 	s.reads.Add(1)
+	if s.device != nil {
+		s.device <- struct{}{}
+		time.Sleep(s.cfg.ReadDelay)
+		<-s.device
+	}
 	source := SourceNVMe
 	data, err := s.nvme.Get(req.Path)
 	if err != nil {

@@ -1,0 +1,133 @@
+package loadctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrFlightAbandoned reports that a coalesced flight ended without a
+// result — the winner panicked out of its read function. Waiters treat
+// it like any transient failure and retry independently.
+var ErrFlightAbandoned = errors.New("loadctl: coalesced flight abandoned")
+
+// flight is one in-progress read a set of callers shares. data/err are
+// written exactly once, before done is closed; waiters read them only
+// after <-done, so no lock is needed on the result fields.
+//
+// done is created lazily, under Group.mu, by the first waiter: the
+// overwhelmingly common solo flight (no concurrent duplicate) then
+// costs no channel allocation at all — the uniform-workload overhead
+// budget is paid for by exactly the reads that coalesce.
+type flight struct {
+	done chan struct{} // nil until a waiter joins (guarded by Group.mu)
+	data []byte
+	err  error
+}
+
+// Group coalesces concurrent identical reads: the first caller for a
+// key becomes the winner and executes the fetch; callers arriving while
+// the flight is open wait for — and share — the winner's result. Unlike
+// a plain singleflight, waiting is context-aware: a waiter whose
+// context expires detaches immediately instead of being held hostage by
+// a slow winner.
+//
+// The shared byte slice must be treated as read-only by every caller.
+type Group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	// free recycles flights that finished without ever having a waiter:
+	// nobody else holds a reference to such a flight (waiters acquire it
+	// only from the map, under mu), so reuse is safe and the solo flight
+	// — the overwhelmingly common case under a uniform workload — runs
+	// allocation-free.
+	free []*flight
+}
+
+// freeListCap bounds the recycled-flight list.
+const freeListCap = 32
+
+// NewGroup creates an empty Group.
+func NewGroup() *Group {
+	return &Group{flights: make(map[string]*flight)}
+}
+
+// Fetcher executes the underlying read for a coalesced flight. Using an
+// interface instead of a closure keeps the winner's fast path
+// allocation-free: the caller passes its receiver once, nothing is
+// captured per call.
+type Fetcher interface {
+	Fetch(ctx context.Context, key string) ([]byte, error)
+}
+
+// FetcherFunc adapts a function to Fetcher (tests and simple callers).
+type FetcherFunc func(ctx context.Context, key string) ([]byte, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(ctx context.Context, key string) ([]byte, error) { return f(ctx, key) }
+
+// Do executes f.Fetch once per key among concurrent callers. shared
+// reports whether the result came from another caller's flight (true
+// for waiters, false for the winner). A waiter whose ctx expires
+// returns ctx.Err() without waiting for the winner.
+//
+// The winner runs the fetch under its own context; if that context is
+// canceled the shared error will reflect it, and waiters — whose
+// contexts may still be live — should retry.
+func (g *Group) Do(ctx context.Context, key string, fetch Fetcher) (data []byte, err error, shared bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		if f.done == nil {
+			f.done = make(chan struct{})
+		}
+		done := f.done
+		g.mu.Unlock()
+		select {
+		case <-done:
+			return f.data, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	var f *flight
+	if n := len(g.free); n > 0 {
+		f = g.free[n-1]
+		g.free = g.free[:n-1]
+		f.err = ErrFlightAbandoned
+	} else {
+		f = &flight{err: ErrFlightAbandoned}
+	}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	// The flight is removed from the map before done is closed, so a
+	// caller arriving after completion starts a fresh flight rather
+	// than reading a stale result. The deferred cleanup also runs if fn
+	// panics: waiters then observe ErrFlightAbandoned instead of
+	// hanging. The result fields are written before close(done), so
+	// waiters reading them after <-done are ordered correctly. A flight
+	// that never had a waiter is recycled; one with waiters is left to
+	// them (they still read its result fields after <-done).
+	defer func() {
+		g.mu.Lock()
+		delete(g.flights, key)
+		done := f.done
+		if done == nil && len(g.free) < freeListCap {
+			f.data, f.err = nil, nil
+			g.free = append(g.free, f)
+		}
+		g.mu.Unlock()
+		if done != nil {
+			close(done)
+		}
+	}()
+	f.data, f.err = fetch.Fetch(ctx, key)
+	return f.data, f.err, false
+}
+
+// Inflight returns the number of open flights (for tests and debug).
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

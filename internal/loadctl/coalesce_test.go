@@ -1,0 +1,182 @@
+package loadctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fn adapts an argless closure to Fetcher for tests.
+func fn(f func() ([]byte, error)) Fetcher {
+	return FetcherFunc(func(context.Context, string) ([]byte, error) { return f() })
+}
+
+func TestCoalesceSharesOneFlight(t *testing.T) {
+	g := NewGroup()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters+1)
+	sharedFlags := make([]bool, waiters+1)
+	run := func(i int) {
+		defer wg.Done()
+		data, err, shared := g.Do(context.Background(), "k", fn(func() ([]byte, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return []byte("value"), nil
+		}))
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+		results[i] = data
+		sharedFlags[i] = shared
+	}
+
+	wg.Add(1)
+	go run(0)
+	<-entered // winner is inside fn; everyone else must coalesce
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	// Give the waiters time to join the flight before releasing it.
+	for deadline := time.Now().Add(time.Second); g.Inflight() != 1 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i, data := range results {
+		if string(data) != "value" {
+			t.Fatalf("caller %d got %q", i, data)
+		}
+		if sharedFlags[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != waiters {
+		t.Fatalf("%d callers reported shared, want %d", sharedCount, waiters)
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("flight leaked: %d inflight", g.Inflight())
+	}
+}
+
+func TestCoalesceWaiterDetachesOnContextCancel(t *testing.T) {
+	g := NewGroup()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go g.Do(context.Background(), "k", fn(func() ([]byte, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	}))
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", fn(func() ([]byte, error) { return nil, nil }))
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled waiter did not detach from the flight")
+	}
+	close(release)
+}
+
+func TestCoalesceWinnerErrorIsShared(t *testing.T) {
+	g := NewGroup()
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go g.Do(context.Background(), "k", fn(func() ([]byte, error) {
+		close(entered)
+		<-release
+		return nil, boom
+	}))
+	<-entered
+
+	done := make(chan struct{})
+	var gotErr error
+	var gotShared bool
+	go func() {
+		_, gotErr, gotShared = g.Do(context.Background(), "k", fn(func() ([]byte, error) { return nil, nil }))
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+	if !errors.Is(gotErr, boom) || !gotShared {
+		t.Fatalf("waiter got (%v, shared=%v), want (boom, true)", gotErr, gotShared)
+	}
+}
+
+func TestCoalesceWinnerPanicAbandonsFlight(t *testing.T) {
+	g := NewGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		g.Do(context.Background(), "k", fn(func() ([]byte, error) {
+			close(entered)
+			<-release
+			panic("winner died")
+		}))
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", fn(func() ([]byte, error) { return nil, nil }))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFlightAbandoned) {
+			t.Fatalf("waiter error %v, want ErrFlightAbandoned", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter hung on a panicked flight")
+	}
+	if g.Inflight() != 0 {
+		t.Fatalf("flight leaked after panic")
+	}
+}
+
+func TestCoalesceSequentialCallsRunIndependently(t *testing.T) {
+	g := NewGroup()
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err, shared := g.Do(context.Background(), "k", fn(func() ([]byte, error) {
+			calls.Add(1)
+			return nil, nil
+		}))
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("sequential calls coalesced: %d runs", calls.Load())
+	}
+}

@@ -1,0 +1,96 @@
+package loadctl
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultAdmissionWait bounds how long a queued request waits for a
+// service slot before being shed. It is deliberately short: the point
+// of shedding is to convert queueing delay the client cannot see into
+// an explicit overload signal the client can act on (redirect to a
+// replica or the PFS) — a long queue would just be invisible latency.
+const DefaultAdmissionWait = 2 * time.Millisecond
+
+// Limiter is the server-side admission controller: at most `limit`
+// requests are served concurrently, at most `queue` more may wait (for
+// up to maxWait) for a slot, and everything beyond that is shed
+// immediately. Shed requests get an explicit overload status on the
+// wire — never a silent timeout — so the client learns "alive but
+// busy", which is routing information, not failure evidence.
+type Limiter struct {
+	tokens  chan struct{} // service slots
+	waiters chan struct{} // queue slots
+	maxWait time.Duration
+
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewLimiter creates a limiter with `limit` concurrent service slots
+// and a `queue`-deep wait line bounded by maxWait. limit <= 0 returns
+// nil — the "admission control disabled" sentinel callers check for.
+// queue < 0 selects limit; maxWait <= 0 selects DefaultAdmissionWait.
+func NewLimiter(limit, queue int, maxWait time.Duration) *Limiter {
+	if limit <= 0 {
+		return nil
+	}
+	if queue < 0 {
+		queue = limit
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultAdmissionWait
+	}
+	return &Limiter{
+		tokens:  make(chan struct{}, limit),
+		waiters: make(chan struct{}, queue),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire claims a service slot, waiting in the bounded queue if the
+// server is at its concurrency limit. It returns false when the request
+// should be shed: the queue is full, or no slot freed within maxWait.
+// Every true return must be paired with a Release.
+func (l *Limiter) Acquire() bool {
+	select {
+	case l.tokens <- struct{}{}:
+		l.admitted.Add(1)
+		return true
+	default:
+	}
+	select {
+	case l.waiters <- struct{}{}:
+	default:
+		l.shed.Add(1)
+		return false
+	}
+	l.queued.Add(1)
+	t := time.NewTimer(l.maxWait)
+	defer t.Stop()
+	select {
+	case l.tokens <- struct{}{}:
+		<-l.waiters
+		l.admitted.Add(1)
+		return true
+	case <-t.C:
+		<-l.waiters
+		l.shed.Add(1)
+		return false
+	}
+}
+
+// Release returns a service slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.tokens }
+
+// Inflight returns the number of currently held service slots.
+func (l *Limiter) Inflight() int64 { return int64(len(l.tokens)) }
+
+// Stats returns cumulative admission counters.
+func (l *Limiter) Stats() (admitted, queued, shed int64) {
+	return l.admitted.Load(), l.queued.Load(), l.shed.Load()
+}
+
+// Sheds returns the cumulative shed count (telemetry callback).
+func (l *Limiter) Sheds() int64 { return l.shed.Load() }

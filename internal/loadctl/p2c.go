@@ -1,0 +1,102 @@
+package loadctl
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// NodeLatency tracks an exponentially weighted moving average of
+// observed per-node read latency and picks among candidate replicas
+// with power-of-two-choices: sample two candidates at random, send to
+// the one with the lower EWMA. Randomizing the pair keeps a stale
+// estimate from pinning all traffic on one node (the classic
+// herd-on-the-minimum failure of deterministic least-loaded routing),
+// while still skewing traffic away from slow or overloaded servers.
+//
+// The node set is fixed at construction (the client's endpoint map);
+// observations for unknown nodes are dropped.
+type NodeLatency struct {
+	ewma map[cluster.NodeID]*atomic.Int64 // EWMA in ns; 0 = no samples yet
+	rng  atomic.Uint64
+}
+
+// NewNodeLatency creates a tracker over nodes.
+func NewNodeLatency(nodes []cluster.NodeID) *NodeLatency {
+	m := make(map[cluster.NodeID]*atomic.Int64, len(nodes))
+	for _, n := range nodes {
+		m[n] = &atomic.Int64{}
+	}
+	return &NodeLatency{ewma: m}
+}
+
+// Observe folds one latency sample into node's EWMA (α = 1/8). The
+// read-modify-write is deliberately unsynchronized: a lost update under
+// a race only costs one sample of smoothing accuracy, never
+// correctness, and the hot path stays a pair of atomics.
+func (l *NodeLatency) Observe(node cluster.NodeID, d time.Duration) {
+	cell, ok := l.ewma[node]
+	if !ok {
+		return
+	}
+	old := cell.Load()
+	if old == 0 {
+		cell.Store(int64(d))
+		return
+	}
+	cell.Store(old + (int64(d)-old)/8)
+}
+
+// Get returns the current EWMA for node (0 when unobserved or unknown).
+func (l *NodeLatency) Get(node cluster.NodeID) time.Duration {
+	if cell, ok := l.ewma[node]; ok {
+		return time.Duration(cell.Load())
+	}
+	return 0
+}
+
+// Pick chooses one of cands by power-of-two-choices on the latency
+// EWMA. A node with no samples yet wins its comparison, so fresh
+// replicas get explored instead of starved. Returns "" for an empty
+// candidate list.
+func (l *NodeLatency) Pick(cands []cluster.NodeID) cluster.NodeID {
+	switch len(cands) {
+	case 0:
+		return ""
+	case 1:
+		return cands[0]
+	}
+	r := l.next()
+	i := int(r % uint64(len(cands)))
+	j := int((r >> 32) % uint64(len(cands)))
+	if i == j {
+		j++
+		if j == len(cands) {
+			j = 0
+		}
+	}
+	a, b := l.Get(cands[i]), l.Get(cands[j])
+	switch {
+	case a == 0:
+		return cands[i]
+	case b == 0:
+		return cands[j]
+	case b < a:
+		return cands[j]
+	default:
+		return cands[i]
+	}
+}
+
+// next is a splitmix64 step over an atomic state: cheap, lock-free,
+// statistically good enough for replica selection.
+func (l *NodeLatency) next() uint64 {
+	z := l.rng.Add(0x9E3779B97F4A7C15)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

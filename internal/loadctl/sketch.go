@@ -1,0 +1,221 @@
+package loadctl
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sketch is a fixed-memory hot-key detector: a space-saving top-k
+// counter with sampled admission and a lock-free published hot set.
+//
+// Memory is bounded by k entries regardless of key cardinality. The
+// common case — Touch on a key that is not being sampled this call —
+// costs one atomic add plus a read of an immutable map snapshot; only
+// one in SampleRate calls takes the sketch mutex to update counts.
+//
+// Space-saving overestimates: an entry's count is at most its true
+// (sampled) frequency plus the minimum count it inherited at insertion.
+// Hotness is therefore judged on the *guaranteed* count (count minus
+// inherited error), so a uniform workload — where every slot's count is
+// mostly inherited churn — never flags anything hot.
+//
+// Counts age by halving once per window of sampled touches, so hotness
+// tracks the recent distribution: a key that cools off is demoted
+// within a window or two.
+//
+// The hot threshold is relative: a key is hot when its guaranteed count
+// exceeds HotFraction of the decayed total of sampled touches (with a
+// small absolute floor so a handful of accesses can never flag). Tying
+// the threshold to observed traffic instead of the configured window
+// means a low-rate client flags its dominant keys just as a high-rate
+// one does — hotness is about the shape of the distribution, not the
+// absolute rate.
+type Sketch struct {
+	k       int
+	sample  uint64
+	window  int64
+	hotFrac float64 // share of decayed sampled traffic ⇒ hot
+
+	tick atomic.Uint64
+	hot  atomic.Pointer[map[string]struct{}] // immutable snapshot
+
+	mu      sync.Mutex
+	counts  map[string]*ssEntry
+	touches int64 // sampled touches in the current window
+	weight  int64 // decayed total of sampled touches (ages with counts)
+	flagged int64 // cumulative keys ever promoted to hot
+}
+
+// ssEntry is one space-saving slot. errBound is the count inherited
+// from the evicted minimum at insertion; count - errBound is the
+// guaranteed number of (sampled) touches actually observed.
+type ssEntry struct {
+	count    int64
+	errBound int64
+}
+
+// KeyCount is one row of the sketch's top-k table.
+type KeyCount struct {
+	Key   string
+	Count int64 // guaranteed sampled count
+}
+
+// NewSketch creates a sketch from a resolved Config.
+func NewSketch(cfg Config) *Sketch {
+	cfg = cfg.withDefaults()
+	s := &Sketch{
+		k:       cfg.SketchSize,
+		sample:  uint64(cfg.SampleRate),
+		window:  cfg.WindowTouches,
+		hotFrac: cfg.HotFraction,
+		counts:  make(map[string]*ssEntry, cfg.SketchSize),
+	}
+	empty := make(map[string]struct{})
+	s.hot.Store(&empty)
+	return s
+}
+
+// minHotCount floors the hot threshold: below this many guaranteed
+// sampled touches nothing is hot, however skewed a tiny sample looks.
+const minHotCount = 8
+
+// thresholdLocked is the current guaranteed-count bar for hotness.
+func (s *Sketch) thresholdLocked() int64 {
+	t := int64(s.hotFrac * float64(s.weight))
+	if t < minHotCount {
+		t = minHotCount
+	}
+	return t
+}
+
+// IsHot reports whether key is in the published hot set. Lock-free.
+func (s *Sketch) IsHot(key string) bool {
+	m := *s.hot.Load()
+	if len(m) == 0 {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// HotCount returns the size of the published hot set.
+func (s *Sketch) HotCount() int { return len(*s.hot.Load()) }
+
+// Flagged returns the cumulative number of hot promotions.
+func (s *Sketch) Flagged() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flagged
+}
+
+// Touch records one access to key and reports whether the key is
+// currently hot. Only one in SampleRate calls updates the sketch; the
+// rest answer from the published hot set.
+func (s *Sketch) Touch(key string) bool {
+	if s.sample > 1 && s.tick.Add(1)%s.sample != 0 {
+		return s.IsHot(key)
+	}
+	s.mu.Lock()
+	s.touches++
+	s.weight++
+	if s.touches >= s.window {
+		s.ageLocked()
+	}
+	e, ok := s.counts[key]
+	if !ok {
+		if len(s.counts) >= s.k {
+			minKey, minCount := s.minLocked()
+			delete(s.counts, minKey)
+			e = &ssEntry{count: minCount, errBound: minCount}
+		} else {
+			e = &ssEntry{}
+		}
+		s.counts[key] = e
+	}
+	e.count++
+	hot := e.count-e.errBound >= s.thresholdLocked()
+	if hot != s.IsHot(key) {
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+	return hot
+}
+
+// evictScanWidth bounds the eviction scan: instead of a full O(k) pass
+// for the global minimum, the scan inspects this many slots (Go map
+// iteration order is randomized, so repeated scans cover the table) and
+// evicts the smallest seen. Evicting a near-minimum instead of the true
+// minimum only inflates the inherited errBound, which makes hotness
+// judgments more conservative — never a false hot.
+const evictScanWidth = 8
+
+// minLocked returns a near-minimum slot (bounded scan, see above).
+func (s *Sketch) minLocked() (string, int64) {
+	first := true
+	var minKey string
+	var minCount int64
+	seen := 0
+	for k, e := range s.counts {
+		if first || e.count < minCount {
+			minKey, minCount, first = k, e.count, false
+		}
+		if seen++; seen >= evictScanWidth {
+			break
+		}
+	}
+	return minKey, minCount
+}
+
+// ageLocked halves every count at a window boundary and drops emptied
+// slots, then republishes the hot set.
+func (s *Sketch) ageLocked() {
+	s.touches = 0
+	s.weight /= 2
+	for k, e := range s.counts {
+		e.count /= 2
+		e.errBound /= 2
+		if e.count == 0 {
+			delete(s.counts, k)
+		}
+	}
+	s.publishLocked()
+}
+
+// publishLocked rebuilds the immutable hot-set snapshot from the
+// current counts. Keys entering the set for the first time since the
+// last publish are counted as promotions.
+func (s *Sketch) publishLocked() {
+	old := *s.hot.Load()
+	next := make(map[string]struct{})
+	bar := s.thresholdLocked()
+	for k, e := range s.counts {
+		if e.count-e.errBound >= bar {
+			next[k] = struct{}{}
+			if _, was := old[k]; !was {
+				s.flagged++
+			}
+		}
+	}
+	s.hot.Store(&next)
+}
+
+// Top returns up to n tracked keys by guaranteed count, descending.
+func (s *Sketch) Top(n int) []KeyCount {
+	s.mu.Lock()
+	out := make([]KeyCount, 0, len(s.counts))
+	for k, e := range s.counts {
+		out = append(out, KeyCount{Key: k, Count: e.count - e.errBound})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -36,6 +36,10 @@ const (
 	// EventNodeRevived: a failed node was re-admitted (elastic
 	// scale-up).
 	EventNodeRevived
+	// EventHotKey: the load-control sketch flagged a key hot and its
+	// replica fan-out was issued. Detail is the path, Value the object
+	// size being pushed.
+	EventHotKey
 )
 
 // String implements fmt.Stringer with stable wire-friendly names.
@@ -55,6 +59,8 @@ func (t EventType) String() string {
 		return "pfs-fallback"
 	case EventNodeRevived:
 		return "node-revived"
+	case EventHotKey:
+		return "hot-key-flagged"
 	default:
 		return "unknown"
 	}
