@@ -26,16 +26,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "also write <dir>/<exp>.csv for each experiment")
 	hotpath := flag.Bool("hotpath", false, "drive a live in-process cluster at high concurrency and print reads/sec")
-	hpClients := flag.Int("clients", 16, "hotpath: concurrent client connections")
-	hpNodes := flag.Int("nodes", 4, "hotpath: server nodes")
-	hpFiles := flag.Int("files", 512, "hotpath: files in the working set")
-	hpFileBytes := flag.Int64("filebytes", 4096, "hotpath: bytes per file")
-	hpDuration := flag.Duration("duration", 3*time.Second, "hotpath: measurement window")
+	hpClients := flag.Int("clients", 16, "hotpath/chaos: concurrent client connections")
+	hpNodes := flag.Int("nodes", 4, "hotpath/chaos: server nodes")
+	hpFiles := flag.Int("files", 512, "hotpath/chaos: files in the working set")
+	hpFileBytes := flag.Int64("filebytes", 4096, "hotpath/chaos: bytes per file")
+	hpDuration := flag.Duration("duration", 3*time.Second, "hotpath: measurement window; chaos: fault-schedule horizon")
 	hpSkew := flag.Float64("skew", 0, "hotpath: Zipf exponent of the access pattern (0 = uniform)")
 	hpLoadctl := flag.Bool("loadctl", false, "hotpath: enable client-side load control (coalescing, hot-key fan-out, hedged reads)")
 	hpAdmission := flag.Int("admission", 0, "hotpath: per-server concurrent-read admission limit (0 = unlimited)")
 	hpServiceDelay := flag.Duration("servicedelay", 0, "hotpath: simulated per-read device service time (0 = off)")
+	chaosSoak := flag.Bool("chaos", false, "run a seeded fault-injection soak against a live in-process cluster")
 	flag.Parse()
+
+	if *chaosSoak {
+		if err := runChaos(chaosConfig{
+			nodes:     *hpNodes,
+			clients:   *hpClients,
+			files:     *hpFiles,
+			fileBytes: *hpFileBytes,
+			duration:  *hpDuration,
+			seed:      *seed,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *hotpath {
 		if err := runHotpath(hotpathConfig{

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EventKind enumerates plan events.
+type EventKind uint8
+
+// Plan event kinds. Every durable fault (everything except EvConnDrop)
+// is paired with a closing EvHeal or EvRestart in the generated plan,
+// so a plan always ends with the network healed.
+const (
+	// EvPartition symmetrically isolates Node from every endpoint.
+	EvPartition EventKind = iota
+	// EvAsymSend drops frames flowing toward Node (requests lost).
+	EvAsymSend
+	// EvAsymRecv drops frames flowing from Node (responses lost — the
+	// gray-failure shape: the node works but nobody hears it).
+	EvAsymRecv
+	// EvLatency adds Delay ± Jitter to both directions of Node's links.
+	EvLatency
+	// EvBlackhole black-holes dials to Node.
+	EvBlackhole
+	// EvConnDrop instantly kills Node's active connections.
+	EvConnDrop
+	// EvCrash takes the node process down (Kill selects hard-kill vs
+	// unresponsive); executed via Actions, not the network.
+	EvCrash
+	// EvHeal ends the durable network fault Of on Node.
+	EvHeal
+	// EvRestart restarts a crashed node; executed via Actions.
+	EvRestart
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPartition:
+		return "partition"
+	case EvAsymSend:
+		return "asym-send"
+	case EvAsymRecv:
+		return "asym-recv"
+	case EvLatency:
+		return "latency"
+	case EvBlackhole:
+		return "blackhole"
+	case EvConnDrop:
+		return "conn-drop"
+	case EvCrash:
+		return "crash"
+	case EvHeal:
+		return "heal"
+	case EvRestart:
+		return "restart"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled fault action.
+type Event struct {
+	// At is the offset from plan start.
+	At   time.Duration
+	Kind EventKind
+	// Node is the fault target.
+	Node string
+	// Of is the fault an EvHeal ends.
+	Of EventKind
+	// Kill selects hard-kill (true) vs unresponsive (false) for EvCrash.
+	Kill bool
+	// Delay/Jitter parameterize EvLatency.
+	Delay, Jitter time.Duration
+}
+
+// Plan is a deterministic, seeded fault schedule.
+type Plan struct {
+	Seed    int64
+	Horizon time.Duration
+	Events  []Event
+}
+
+// PlanConfig tunes plan generation.
+type PlanConfig struct {
+	// Horizon is the fault window; all faults heal by Horizon. <= 0
+	// selects 3s.
+	Horizon time.Duration
+	// MaxDownFrac caps the fraction of nodes simultaneously unreachable
+	// (crashed, partitioned, or black-holed); <= 0 selects 0.25. At
+	// least one node may always be down.
+	MaxDownFrac float64
+	// MeanGap is the mean time between fault injections; <= 0 selects
+	// 120ms.
+	MeanGap time.Duration
+	// LatencyMax bounds injected per-frame delay; <= 0 selects 40ms.
+	// Keep it near (or past) the RPC deadline to exercise the detector's
+	// false-positive path: latency alone may suspect a node, and the
+	// rejoin path must bring it back.
+	LatencyMax time.Duration
+}
+
+// GeneratePlan builds a random fault schedule over nodes from seed.
+// The same (seed, nodes, cfg) triple always yields the identical plan,
+// which is what makes a failed soak replayable: rerun with the printed
+// seed and the same fault sequence fires at the same offsets.
+func GeneratePlan(seed int64, nodes []string, cfg PlanConfig) Plan {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 3 * time.Second
+	}
+	if cfg.MaxDownFrac <= 0 {
+		cfg.MaxDownFrac = 0.25
+	}
+	if cfg.MeanGap <= 0 {
+		cfg.MeanGap = 120 * time.Millisecond
+	}
+	if cfg.LatencyMax <= 0 {
+		cfg.LatencyMax = 40 * time.Millisecond
+	}
+	maxDown := int(float64(len(nodes)) * cfg.MaxDownFrac)
+	if maxDown < 1 {
+		maxDown = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{Seed: seed, Horizon: cfg.Horizon}
+	downUntil := make(map[string]time.Duration) // node → when it heals
+
+	downAt := func(t time.Duration) int {
+		n := 0
+		for _, until := range downUntil {
+			if until > t {
+				n++
+			}
+		}
+		return n
+	}
+
+	t := cfg.MeanGap/2 + time.Duration(rng.Int63n(int64(cfg.MeanGap)))
+	for t < cfg.Horizon {
+		node := nodes[rng.Intn(len(nodes))]
+		dur := 250*time.Millisecond + time.Duration(rng.Int63n(int64(500*time.Millisecond)))
+		if t+dur > cfg.Horizon {
+			dur = cfg.Horizon - t
+		}
+		kind := pickKind(rng)
+		isDown := kind == EvPartition || kind == EvAsymSend || kind == EvBlackhole || kind == EvCrash
+		if until, busy := downUntil[node]; busy && until > t {
+			// Node already under a durable fault; skip this slot.
+		} else if isDown && downAt(t) >= maxDown {
+			// Too many nodes unreachable; degrade to a transient fault.
+			p.Events = append(p.Events, Event{At: t, Kind: EvConnDrop, Node: node})
+		} else {
+			switch kind {
+			case EvConnDrop:
+				p.Events = append(p.Events, Event{At: t, Kind: EvConnDrop, Node: node})
+			case EvCrash:
+				p.Events = append(p.Events,
+					Event{At: t, Kind: EvCrash, Node: node, Kill: rng.Intn(2) == 0},
+					Event{At: t + dur, Kind: EvRestart, Node: node})
+				downUntil[node] = t + dur
+			case EvLatency:
+				delay := time.Duration(rng.Int63n(int64(cfg.LatencyMax)))
+				jitter := delay / 2
+				p.Events = append(p.Events,
+					Event{At: t, Kind: EvLatency, Node: node, Delay: delay, Jitter: jitter},
+					Event{At: t + dur, Kind: EvHeal, Node: node, Of: EvLatency})
+				downUntil[node] = t + dur // one durable fault per node at a time
+			default: // partition variants, blackhole
+				p.Events = append(p.Events,
+					Event{At: t, Kind: kind, Node: node},
+					Event{At: t + dur, Kind: EvHeal, Node: node, Of: kind})
+				downUntil[node] = t + dur
+			}
+		}
+		t += cfg.MeanGap/2 + time.Duration(rng.Int63n(int64(cfg.MeanGap)))
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// pickKind draws an event kind with fixed weights.
+func pickKind(rng *rand.Rand) EventKind {
+	switch n := rng.Intn(100); {
+	case n < 18:
+		return EvPartition
+	case n < 28:
+		return EvAsymSend
+	case n < 38:
+		return EvAsymRecv
+	case n < 60:
+		return EvLatency
+	case n < 70:
+		return EvBlackhole
+	case n < 80:
+		return EvConnDrop
+	default:
+		return EvCrash
+	}
+}
+
+// Actions are the node-lifecycle hooks a plan needs beyond the network:
+// the chaos package cannot kill a server process itself, so the harness
+// (soak test, ftcbench -chaos) supplies these against its cluster.
+type Actions struct {
+	// Crash takes node down; kill selects hard-kill vs unresponsive.
+	Crash func(node string, kill bool)
+	// Restart brings a crashed node back up (listening again).
+	Restart func(node string)
+}
+
+// Execute applies the plan against ctl (and act, for crash/restart) in
+// real time, sleeping between events. It returns after the last event
+// or when ctx is done; on a clean run every durable fault has healed.
+func (p Plan) Execute(ctx context.Context, ctl *Controller, act Actions) {
+	start := time.Now()
+	for _, ev := range p.Events {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		switch ev.Kind {
+		case EvPartition:
+			ctl.Isolate(ev.Node)
+		case EvAsymSend:
+			ctl.CutOneWay(Wildcard, ev.Node)
+			// CutOneWay records asym-partition itself.
+		case EvAsymRecv:
+			ctl.CutOneWay(ev.Node, Wildcard)
+		case EvLatency:
+			ctl.SetLinkLatency(Wildcard, ev.Node, ev.Delay, ev.Jitter)
+		case EvBlackhole:
+			ctl.Blackhole(ev.Node)
+			ctl.Record(KindDialBlackhole + "-installed")
+		case EvConnDrop:
+			ctl.DropConns(ev.Node)
+		case EvCrash:
+			if act.Crash != nil {
+				act.Crash(ev.Node, ev.Kill)
+			}
+			ctl.Record(KindCrash)
+		case EvRestart:
+			if act.Restart != nil {
+				act.Restart(ev.Node)
+			}
+			ctl.Record(KindRestart)
+		case EvHeal:
+			switch ev.Of {
+			case EvLatency:
+				ctl.ClearLatencyNode(ev.Node)
+			case EvBlackhole:
+				ctl.Unblackhole(ev.Node)
+			default:
+				ctl.HealNode(ev.Node)
+			}
+		}
+	}
+}
+
+// Summary renders a one-line plan description for logs.
+func (p Plan) Summary() string {
+	byKind := make(map[EventKind]int)
+	for _, ev := range p.Events {
+		byKind[ev.Kind]++
+	}
+	return fmt.Sprintf("seed=%d events=%d horizon=%s partitions=%d asym=%d latency=%d blackholes=%d conndrops=%d crashes=%d",
+		p.Seed, len(p.Events), p.Horizon,
+		byKind[EvPartition], byKind[EvAsymSend]+byKind[EvAsymRecv],
+		byKind[EvLatency], byKind[EvBlackhole], byKind[EvConnDrop], byKind[EvCrash])
+}

@@ -1,0 +1,259 @@
+package chaos_test
+
+// The chaos soak: a live in-process FT-Cache cluster under a seeded
+// random fault schedule, asserting the system's safety and liveness
+// invariants end to end:
+//
+//   1. Correctness — every read that completes returns exactly the
+//      staged bytes (from NVMe, a replica, or the PFS fallback); a
+//      single wrong byte fails the soak.
+//   2. No stuck reads — every read completes within a generous budget
+//      even while faults are active (transient failures are retried by
+//      the harness; never finishing is the violation).
+//   3. Convergence — after the fault window heals, every client's ring
+//      returns to full membership and every tracker sees every node
+//      alive: a healthy node is never permanently dead, even when the
+//      only "fault" it suffered was added latency past the RPC TTL.
+//   4. Post-heal epoch — a full verification pass over the dataset by
+//      every client completes with zero errors.
+//
+// The schedule is deterministic from the seed: a failure reruns exactly
+// with FTC_CHAOS_SEED=<printed seed>.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ftcache"
+	"repro/internal/hvac"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+func TestChaosSoak(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	if s := os.Getenv("FTC_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FTC_CHAOS_SEED=%q: %v", s, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSoak(t, seed)
+		})
+	}
+}
+
+func runSoak(t *testing.T, seed int64) {
+	const (
+		nodes      = 16
+		nClients   = 4
+		rpcTimeout = 60 * time.Millisecond
+		readBudget = 15 * time.Second // per logical read, faults included
+	)
+	t.Logf("chaos soak seed=%d (replay: FTC_CHAOS_SEED=%d)", seed, seed)
+
+	ctl := chaos.New(rpc.NewInprocNetwork(), chaos.Config{Seed: seed, DialTimeout: 50 * time.Millisecond})
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:        nodes,
+		Strategy:     ftcache.KindNVMe,
+		RPCTimeout:   rpcTimeout,
+		TimeoutLimit: 2,
+		Network:      ctl.Network("boot"),
+		Retry:        &rpc.RetryPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ds := workload.Dataset{Name: "soak", Prefix: "soak/train", NumFiles: 200, FileBytes: 512}
+	if _, err := cl.Stage(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WarmCache(ds); err != nil {
+		t.Fatal(err)
+	}
+	paths := ds.AllPaths()
+
+	type soakClient struct {
+		cli  *hvac.Client
+		ring interface{ Len() int }
+		hb   *cluster.Heartbeat
+	}
+	clients := make([]*soakClient, nClients)
+	for i := range clients {
+		cli, router, err := cl.NewClientNet(ctl.Network(fmt.Sprintf("cli-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &soakClient{cli: cli, ring: router.(*ftcache.RingRecache).Ring()}
+		sc.hb = cluster.NewHeartbeat(cli.Tracker(), cli, cluster.HeartbeatConfig{
+			Interval:        15 * time.Millisecond,
+			Timeout:         rpcTimeout,
+			ReviveThreshold: 2,
+			OnRevive: func(n cluster.NodeID) {
+				// Fire-and-forget: convergence is polled below, and a
+				// rejoin losing a race (node flapped again, concurrent
+				// rejoin) just retries on the next threshold crossing.
+				go cli.Rejoin(context.Background(), n,
+					hvac.RejoinOptions{Probes: 1, Keys: paths})
+			},
+		})
+		sc.hb.Start()
+		clients[i] = sc
+		defer cli.Close()
+		defer sc.hb.Stop()
+	}
+
+	nodeNames := make([]string, 0, nodes)
+	for _, n := range cl.Nodes() {
+		nodeNames = append(nodeNames, string(n))
+	}
+	plan := chaos.GeneratePlan(seed, nodeNames, chaos.PlanConfig{Horizon: 3 * time.Second})
+	t.Logf("plan: %s", plan.Summary())
+
+	var (
+		reads      atomic.Int64
+		transient  atomic.Int64
+		wrongBytes atomic.Int64
+		stuck      atomic.Int64
+		notFound   atomic.Int64
+	)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for ci, sc := range clients {
+		for g := 0; g < 2; g++ {
+			readers.Add(1)
+			cli := sc.cli
+			rng := rand.New(rand.NewSource(seed ^ int64(ci*7+g+1)))
+			go func() {
+				defer readers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i := rng.Intn(ds.NumFiles)
+					want := ds.SampleContent(i)
+					deadline := time.Now().Add(readBudget)
+					for {
+						ctx, cancel := context.WithDeadline(context.Background(), deadline)
+						data, err := cli.Read(ctx, paths[i])
+						cancel()
+						if err == nil {
+							reads.Add(1)
+							if !bytes.Equal(data, want) {
+								wrongBytes.Add(1)
+								t.Errorf("seed=%d: wrong bytes for %s (%d vs %d)", seed, paths[i], len(data), len(want))
+							}
+							break
+						}
+						if err == hvac.ErrNotFound || err == hvac.ErrAborted {
+							notFound.Add(1)
+							t.Errorf("seed=%d: read %s: %v", seed, paths[i], err)
+							break
+						}
+						if time.Now().After(deadline) {
+							stuck.Add(1)
+							t.Errorf("seed=%d: read %s stuck: no success within %v (last err: %v)",
+								seed, paths[i], readBudget, err)
+							break
+						}
+						transient.Add(1)
+					}
+				}
+			}()
+		}
+	}
+
+	// Run the fault schedule in real time against the live cluster.
+	planCtx, planCancel := context.WithTimeout(context.Background(), plan.Horizon+5*time.Second)
+	plan.Execute(planCtx, ctl, chaos.Actions{
+		Crash: func(node string, kill bool) {
+			mode := core.FailUnresponsive
+			if kill {
+				mode = core.FailKill
+			}
+			if err := cl.Fail(core.NodeID(node), mode); err != nil {
+				t.Errorf("crash %s: %v", node, err)
+			}
+		},
+		Restart: func(node string) {
+			if err := cl.Revive(core.NodeID(node)); err != nil {
+				t.Errorf("restart %s: %v", node, err)
+			}
+		},
+	})
+	planCancel()
+	ctl.HealAll() // belt and braces: the plan heals everything it opened
+
+	// Convergence: every client's ring and tracker must return to full
+	// membership within the heal window (heartbeat revival + rejoin).
+	converged := func() bool {
+		for _, sc := range clients {
+			if sc.ring.Len() != nodes || len(sc.cli.Tracker().Alive()) != nodes {
+				return false
+			}
+		}
+		return true
+	}
+	healDeadline := time.Now().Add(20 * time.Second)
+	for !converged() {
+		if time.Now().After(healDeadline) {
+			for i, sc := range clients {
+				t.Errorf("seed=%d: client %d not converged: ring=%d alive=%d",
+					seed, i, sc.ring.Len(), len(sc.cli.Tracker().Alive()))
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	readers.Wait()
+
+	// Post-heal verification epoch: every client reads the whole dataset
+	// with zero tolerance for errors.
+	for i, sc := range clients {
+		for j := 0; j < ds.NumFiles; j++ {
+			if err := core.VerifyRead(context.Background(), sc.cli, ds, j); err != nil {
+				t.Fatalf("seed=%d: post-heal verify client=%d file=%d: %v", seed, i, j, err)
+			}
+		}
+	}
+
+	faults := ctl.FaultCounts()
+	total := int64(0)
+	for _, v := range faults {
+		total += v
+	}
+	t.Logf("seed=%d: faults[%s] reads=%d transient-retries=%d wrong-bytes=%d stuck=%d",
+		seed, ctl.FormatFaults(), reads.Load(), transient.Load(), wrongBytes.Load(), stuck.Load())
+	if total == 0 {
+		t.Error("soak injected zero faults — the schedule did nothing")
+	}
+	if reads.Load() == 0 {
+		t.Error("soak completed zero reads")
+	}
+	if wrongBytes.Load() != 0 || stuck.Load() != 0 || notFound.Load() != 0 {
+		t.Errorf("invariant violations: wrong-bytes=%d stuck=%d not-found=%d",
+			wrongBytes.Load(), stuck.Load(), notFound.Load())
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -15,6 +16,15 @@ import (
 // background RPC chatter. The ablation in bench_test.go compares the
 // two; production FT-Cache can run both against one Tracker since the
 // evidence model (consecutive timeouts, success resets) is shared.
+//
+// Heartbeat is also the recovery sensor: with ReviveThreshold > 0 it
+// keeps probing *declared-failed* nodes, and when one answers K
+// consecutive probes the OnRevive hook fires — the trigger for the
+// elastic rejoin path (Tracker.Revive → ring re-add → NVMe warmup).
+// Requiring K consecutive successes mirrors the failure side's
+// consecutive-timeout threshold: a single lucky packet from a flapping
+// node must not re-admit it, just as a single lost packet must not
+// declare it dead.
 
 // Pinger probes a node; a non-nil error is failure evidence.
 type Pinger interface {
@@ -35,7 +45,31 @@ type HeartbeatConfig struct {
 	Timeout time.Duration
 	// Parallelism bounds concurrent probes per round; <= 0 selects 8.
 	Parallelism int
+	// Jitter is the fraction of Interval each round's wait is randomly
+	// shifted by (uniform in ±Jitter×Interval). After a mass event every
+	// client's prober fires on the same schedule; without jitter those
+	// synchronized probe storms hit the surviving nodes as one pulse per
+	// interval. 0 selects DefaultHeartbeatJitter; negative disables.
+	Jitter float64
+	// ReviveThreshold enables recovery probing: failed nodes keep being
+	// probed, and after this many consecutive successful probes OnRevive
+	// fires for the node. 0 disables recovery probing (failed nodes are
+	// never probed — the pre-rejoin behavior).
+	ReviveThreshold int
+	// OnRevive is invoked (from a prober goroutine) when a failed node
+	// passes ReviveThreshold consecutive probes. The streak then resets,
+	// so while the node *stays* failed — e.g. the triggered rejoin lost a
+	// race with a still-active fault — OnRevive re-fires after every
+	// further ReviveThreshold consecutive successes rather than latching
+	// shut; handlers running a multi-step rejoin should dedup in-flight
+	// work (hvac.Client.Rejoin does). nil selects Tracker.Revive
+	// directly; the HVAC client wires its warmup-then-revive rejoin here
+	// instead.
+	OnRevive func(NodeID)
 }
+
+// DefaultHeartbeatJitter is the probe-interval jitter fraction.
+const DefaultHeartbeatJitter = 0.1
 
 // Heartbeat periodically probes every live member of a Tracker.
 type Heartbeat struct {
@@ -48,6 +82,9 @@ type Heartbeat struct {
 	done    chan struct{}
 	rounds  int
 	started bool
+	rng     *rand.Rand
+	// reviveStreak counts consecutive successful probes of failed nodes.
+	reviveStreak map[NodeID]int
 }
 
 // NewHeartbeat creates a prober bound to tracker and pinger.
@@ -61,7 +98,18 @@ func NewHeartbeat(tracker *Tracker, pinger Pinger, cfg HeartbeatConfig) *Heartbe
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = 8
 	}
-	return &Heartbeat{cfg: cfg, tracker: tracker, pinger: pinger}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = DefaultHeartbeatJitter
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	return &Heartbeat{
+		cfg:          cfg,
+		tracker:      tracker,
+		pinger:       pinger,
+		rng:          rand.New(rand.NewSource(rand.Int63())),
+		reviveStreak: make(map[NodeID]int),
+	}
 }
 
 // Start launches the probe loop; calling Start twice is a no-op.
@@ -100,24 +148,40 @@ func (h *Heartbeat) Rounds() int {
 	return h.rounds
 }
 
+// nextWait returns the jittered inter-round wait.
+func (h *Heartbeat) nextWait() time.Duration {
+	d := h.cfg.Interval
+	if h.cfg.Jitter <= 0 {
+		return d
+	}
+	h.mu.Lock()
+	f := h.rng.Float64()
+	h.mu.Unlock()
+	shift := time.Duration((2*f - 1) * h.cfg.Jitter * float64(d))
+	return d + shift
+}
+
 func (h *Heartbeat) loop(ctx context.Context) {
 	defer close(h.done)
-	ticker := time.NewTicker(h.cfg.Interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(h.cfg.Interval)
+	defer timer.Stop()
 	for {
 		h.probeRound(ctx)
 		h.mu.Lock()
 		h.rounds++
 		h.mu.Unlock()
+		timer.Reset(h.nextWait())
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 	}
 }
 
-// probeRound pings every live member and feeds the tracker.
+// probeRound pings every live member and feeds the tracker; with
+// recovery probing enabled it also pings failed members and fires
+// OnRevive when one has answered ReviveThreshold rounds in a row.
 func (h *Heartbeat) probeRound(ctx context.Context) {
 	alive := h.tracker.Alive()
 	sem := make(chan struct{}, h.cfg.Parallelism)
@@ -139,6 +203,42 @@ func (h *Heartbeat) probeRound(ctx context.Context) {
 			}
 			h.tracker.RecordSuccess(node)
 		}()
+	}
+	if h.cfg.ReviveThreshold > 0 {
+		for _, node := range h.tracker.FailedNodes() {
+			node := node
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				probeCtx, cancel := context.WithTimeout(ctx, h.cfg.Timeout)
+				defer cancel()
+				err := h.pinger.Ping(probeCtx, node)
+				if ctx.Err() != nil {
+					return
+				}
+				h.mu.Lock()
+				if err != nil {
+					h.reviveStreak[node] = 0
+					h.mu.Unlock()
+					return
+				}
+				h.reviveStreak[node]++
+				fire := h.reviveStreak[node] >= h.cfg.ReviveThreshold
+				if fire {
+					h.reviveStreak[node] = 0
+				}
+				h.mu.Unlock()
+				if fire {
+					if h.cfg.OnRevive != nil {
+						h.cfg.OnRevive(node)
+					} else {
+						h.tracker.Revive(node)
+					}
+				}
+			}()
+		}
 	}
 	wg.Wait()
 }

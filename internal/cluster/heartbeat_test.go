@@ -145,4 +145,165 @@ func TestHeartbeatDefaults(t *testing.T) {
 	if hb.cfg.Parallelism != 8 {
 		t.Errorf("parallelism = %d", hb.cfg.Parallelism)
 	}
+	if hb.cfg.Jitter != DefaultHeartbeatJitter {
+		t.Errorf("jitter = %v, want default %v", hb.cfg.Jitter, DefaultHeartbeatJitter)
+	}
+}
+
+func TestHeartbeatJitterVariesIntervals(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	hb := NewHeartbeat(NewTracker(members(1), 1), newFakePinger(),
+		HeartbeatConfig{Interval: interval, Jitter: 0.1})
+	lo, hi := 90*time.Millisecond, 110*time.Millisecond
+	seen := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		w := hb.nextWait()
+		if w < lo || w > hi {
+			t.Fatalf("wait %v outside jitter band [%v, %v]", w, lo, hi)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Error("64 jittered waits were all identical — probes would stay synchronized")
+	}
+
+	// Negative jitter disables: every wait is exactly the interval.
+	fixed := NewHeartbeat(NewTracker(members(1), 1), newFakePinger(),
+		HeartbeatConfig{Interval: interval, Jitter: -1})
+	for i := 0; i < 8; i++ {
+		if w := fixed.nextWait(); w != interval {
+			t.Fatalf("jitter disabled but wait = %v", w)
+		}
+	}
+}
+
+func TestHeartbeatRevivesAfterThreshold(t *testing.T) {
+	tr := NewTracker(members(2), 1)
+	p := newFakePinger()
+	revived := make(chan NodeID, 4)
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{
+		Interval:        3 * time.Millisecond,
+		ReviveThreshold: 3,
+		OnRevive: func(n NodeID) {
+			tr.Revive(n)
+			revived <- n
+		},
+	})
+	p.kill("node-01")
+	hb.Start()
+	defer hb.Stop()
+
+	deadline := time.After(2 * time.Second)
+	for tr.IsAlive("node-01") {
+		select {
+		case <-deadline:
+			t.Fatal("never detected the dead node")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Node restarts: revival probes must see ReviveThreshold consecutive
+	// successes and then fire OnRevive exactly once.
+	p.mu.Lock()
+	p.dead["node-01"] = false
+	callsAtRestart := p.calls["node-01"]
+	p.mu.Unlock()
+	select {
+	case n := <-revived:
+		if n != "node-01" {
+			t.Fatalf("revived %s, want node-01", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnRevive never fired")
+	}
+	if !tr.IsAlive("node-01") {
+		t.Error("node not alive after OnRevive → Revive")
+	}
+	p.mu.Lock()
+	probes := p.calls["node-01"] - callsAtRestart
+	p.mu.Unlock()
+	if probes < 3 {
+		t.Errorf("OnRevive fired after %d post-restart probes, want >= threshold 3", probes)
+	}
+	// No duplicate firings while the node stays healthy.
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case n := <-revived:
+		t.Errorf("OnRevive fired again for %s after revival", n)
+	default:
+	}
+}
+
+func TestHeartbeatDefaultOnReviveUsesTracker(t *testing.T) {
+	tr := NewTracker(members(1), 1)
+	p := newFakePinger()
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{Interval: 2 * time.Millisecond, ReviveThreshold: 2})
+	p.kill("node-00")
+	hb.Start()
+	defer hb.Stop()
+	deadline := time.After(2 * time.Second)
+	for tr.IsAlive("node-00") {
+		select {
+		case <-deadline:
+			t.Fatal("never detected")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.mu.Lock()
+	p.dead["node-00"] = false
+	p.mu.Unlock()
+	deadline = time.After(2 * time.Second)
+	for !tr.IsAlive("node-00") {
+		select {
+		case <-deadline:
+			t.Fatal("nil OnRevive never revived via the tracker")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestHeartbeatFlappingNodeResetsStreak(t *testing.T) {
+	tr := NewTracker(members(1), 1)
+	p := newFakePinger()
+	var fired int
+	var firedMu sync.Mutex
+	hb := NewHeartbeat(tr, p, HeartbeatConfig{
+		Interval:        2 * time.Millisecond,
+		ReviveThreshold: 1000, // unreachably high: OnRevive must never fire
+		OnRevive: func(NodeID) {
+			firedMu.Lock()
+			fired++
+			firedMu.Unlock()
+		},
+	})
+	p.kill("node-00")
+	hb.Start()
+	deadline := time.After(2 * time.Second)
+	for tr.IsAlive("node-00") {
+		select {
+		case <-deadline:
+			t.Fatal("never detected")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Flap: alternate the node up and down across rounds.
+	for i := 0; i < 10; i++ {
+		p.mu.Lock()
+		p.dead["node-00"] = i%2 == 0
+		p.mu.Unlock()
+		time.Sleep(4 * time.Millisecond)
+	}
+	hb.Stop()
+	firedMu.Lock()
+	defer firedMu.Unlock()
+	if fired != 0 {
+		t.Errorf("OnRevive fired %d times below the streak threshold", fired)
+	}
+	if tr.IsAlive("node-00") {
+		t.Error("flapping node was resurrected without OnRevive")
+	}
 }

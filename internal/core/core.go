@@ -71,6 +71,9 @@ type ClusterConfig struct {
 	// ReadDelay simulates per-read device service time on every server,
 	// giving nodes finite capacity (see hvac.ServerConfig.ReadDelay).
 	ReadDelay time.Duration
+	// Retry, when non-nil, gives every client the bounded-backoff retry
+	// policy for connection-class RPC failures (see rpc.RetryPolicy).
+	Retry *rpc.RetryPolicy
 }
 
 // Cluster is a running FT-Cache deployment.
@@ -142,6 +145,13 @@ func (c *Cluster) Stage(ds workload.Dataset) (int64, error) { return ds.Stage(c.
 // detector — mirroring the paper, where every rank detects and reroutes
 // independently.
 func (c *Cluster) NewClient() (*hvac.Client, hvac.Router, error) {
+	return c.NewClientNet(c.network)
+}
+
+// NewClientNet is NewClient over an explicit network view — the hook
+// chaos testing uses to give each client its own per-source view of the
+// fault-injected network while servers listen on the shared inner one.
+func (c *Cluster) NewClientNet(network rpc.Network) (*hvac.Client, hvac.Router, error) {
 	router := ftcache.NewRouter(c.cfg.Strategy, c.Nodes(), c.cfg.VirtualNodes)
 	endpoints := make(map[NodeID]string, len(c.nodes))
 	for _, n := range c.nodes {
@@ -149,13 +159,14 @@ func (c *Cluster) NewClient() (*hvac.Client, hvac.Router, error) {
 	}
 	cli, err := hvac.NewClient(hvac.ClientConfig{
 		Endpoints:         endpoints,
-		Network:           c.network,
+		Network:           network,
 		Router:            router,
 		PFS:               c.pfs,
 		RPCTimeout:        c.cfg.RPCTimeout,
 		TimeoutLimit:      c.cfg.TimeoutLimit,
 		ReplicationFactor: c.cfg.Replication,
 		LoadControl:       c.cfg.LoadControl,
+		Retry:             c.cfg.Retry,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -179,6 +179,13 @@ func (r *RingRecache) NodeFailed(node cluster.NodeID) {
 // keys move back, and the node re-warms via its server's miss path.
 func (r *RingRecache) NodeRecovered(node cluster.NodeID) { r.ring.Add(node) }
 
+// PlanRejoin implements hvac.RejoinPlanner: the keys node will own once
+// re-added — the warm set the client fills onto the node's NVMe before
+// NodeRecovered commits the ring swap, so a rejoining node starts hot.
+func (r *RingRecache) PlanRejoin(node cluster.NodeID, keys []string) []string {
+	return r.ring.PlanRejoin(node, keys).Keys
+}
+
 // Ring exposes the underlying hash ring for analysis and tests.
 func (r *RingRecache) Ring() *hashring.Ring { return r.ring }
 
@@ -200,6 +207,7 @@ var (
 	_ hvac.Router        = (*RingRecache)(nil)
 	_ hvac.Replicator    = (*RingRecache)(nil)
 	_ hvac.RecoveryAware = (*RingRecache)(nil)
+	_ hvac.RejoinPlanner = (*RingRecache)(nil)
 	_ hvac.RecoveryAware = (*PFSRedirect)(nil)
 )
 

@@ -475,3 +475,48 @@ func (p RecachePlan) FilesPerReceiver() []int {
 	}
 	return out
 }
+
+// RejoinPlan describes the keys a rejoining node will own once re-added:
+// the warm set the recovery path fills onto its NVMe before the ring swap
+// so the node comes back hot instead of serving a cold cache.
+type RejoinPlan struct {
+	Joining NodeID
+	// Keys are the keys the node will own after re-add, in input order.
+	Keys []string
+}
+
+// PlanRejoin is the inverse of PlanRecache: for the given key
+// population, which keys will joining own once it is re-added with its
+// virtual points. The ring is not modified — the caller warms the
+// node's cache from the keys' current owners first, then commits with
+// Add, so readers never route to the rejoining node before its data is
+// in place.
+//
+// Consistent hashing makes this exact: the points a node contributes
+// are a pure function of (node, vnodes, seed), so the planned ownership
+// is bit-identical to what Add will install. If joining is already a
+// member the plan is empty — unlike PlanRecache's panic, because rejoin
+// races benignly (a double-revive must be a no-op, not a crash).
+func (r *Ring) PlanRejoin(joining NodeID, keys []string) RejoinPlan {
+	cur := r.snap.Load()
+	plan := RejoinPlan{Joining: joining}
+	if _, ok := cur.member[joining]; ok {
+		return plan
+	}
+	add := make([]point, 0, r.cfg.VirtualNodes)
+	for _, h := range pointsFor(joining, r.cfg.VirtualNodes, r.cfg.Seed) {
+		add = append(add, point{hash: h, node: joining})
+	}
+	sortPoints(add)
+	after := mergePoints(cur.points, add)
+	for _, k := range keys {
+		if owner, ok := ownerOf(after, keyHash(k, r.cfg.Seed)); ok && owner == joining {
+			plan.Keys = append(plan.Keys, k)
+		}
+	}
+	m := metrics()
+	m.plans.Inc()
+	m.keysMoved.Add(int64(len(plan.Keys)))
+	telemetry.TraceEvent(telemetry.EventRecachePlanned, string(joining), "rejoin", int64(len(plan.Keys)))
+	return plan
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,6 +109,13 @@ type ClientConfig struct {
 	// nil leaves the client's behavior exactly as before. Replica fan-out
 	// additionally requires the Router to implement Replicator.
 	LoadControl *loadctl.Config
+	// Retry, when non-nil, absorbs connection-class RPC failures (reset,
+	// refused, listener gone) with bounded jittered backoff before they
+	// become failure evidence. Timeout-class failures are never retried:
+	// those are the detector's signal (see rpc.RetryPolicy). nil disables
+	// retries — every failure is evidence immediately, the pre-retry
+	// behavior.
+	Retry *rpc.RetryPolicy
 }
 
 // ClientStats are cumulative per-client counters.
@@ -137,7 +145,12 @@ type Client struct {
 	tracker *cluster.Tracker
 
 	mu    sync.Mutex
-	conns map[cluster.NodeID]*rpc.Client
+	conns map[cluster.NodeID]*connSlot
+
+	// rejoinMu/rejoining dedup concurrent Rejoin calls per node (the
+	// heartbeat can fire OnRevive again while a warmup is in flight).
+	rejoinMu  sync.Mutex
+	rejoining map[cluster.NodeID]bool
 
 	remoteReads   atomic.Int64
 	remoteBytes   atomic.Int64
@@ -195,11 +208,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		}
 	}
 	c := &Client{
-		cfg:     cfg,
-		tracker: cluster.NewTracker(nodes, cfg.TimeoutLimit),
-		conns:   make(map[cluster.NodeID]*rpc.Client),
-		replSem: make(chan struct{}, 16),
-		latency: stats.NewLatencyTracker(),
+		cfg:       cfg,
+		tracker:   cluster.NewTracker(nodes, cfg.TimeoutLimit),
+		conns:     make(map[cluster.NodeID]*connSlot),
+		rejoining: make(map[cluster.NodeID]bool),
+		replSem:   make(chan struct{}, 16),
+		latency:   stats.NewLatencyTracker(),
 	}
 	c.tracker.OnFailure(cfg.Router.NodeFailed)
 	if ra, ok := cfg.Router.(RecoveryAware); ok {
@@ -262,34 +276,67 @@ func (c *Client) Stats() ClientStats {
 	}
 }
 
+// connSlot is the per-node connection cache entry. Its own mutex
+// serializes dialing per node, so a slow or black-holed dial to one
+// node blocks only requests addressed to that node — never the whole
+// client. (Dialing under the client-wide map lock would let one dead
+// endpoint's connect timeout head-of-line-block every healthy read.)
+type connSlot struct {
+	mu  sync.Mutex
+	cli *rpc.Client
+}
+
+// slot returns node's connection slot, creating it on first use. Only
+// the map access holds c.mu; dialing happens under the slot lock.
+func (c *Client) slot(node cluster.NodeID) *connSlot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.conns[node]
+	if !ok {
+		s = &connSlot{}
+		c.conns[node] = s
+	}
+	return s
+}
+
 // conn returns (dialing if necessary) the RPC client for node.
 func (c *Client) conn(node cluster.NodeID) (*rpc.Client, error) {
 	if c.closed.Load() {
 		return nil, rpc.ErrClosed
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cli, ok := c.conns[node]; ok {
-		return cli, nil
-	}
 	ep, ok := c.cfg.Endpoints[node]
 	if !ok {
 		return nil, fmt.Errorf("hvac: no endpoint for node %s", node)
+	}
+	s := c.slot(node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cli != nil {
+		return s.cli, nil
 	}
 	nc, err := c.cfg.Network.Dial(ep)
 	if err != nil {
 		return nil, err
 	}
-	cli := rpc.NewClient(nc)
-	c.conns[node] = cli
-	return cli, nil
+	if c.closed.Load() { // Close raced the dial: don't leak the conn
+		nc.Close()
+		return nil, rpc.ErrClosed
+	}
+	s.cli = rpc.NewClient(nc)
+	return s.cli, nil
 }
 
 func (c *Client) dropConn(node cluster.NodeID) {
 	c.mu.Lock()
-	cli := c.conns[node]
-	delete(c.conns, node)
+	s := c.conns[node]
 	c.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	cli := s.cli
+	s.cli = nil
+	s.mu.Unlock()
 	if cli != nil {
 		cli.Close()
 	}
@@ -468,20 +515,79 @@ func (c *Client) readFromNode(ctx context.Context, node cluster.NodeID, path str
 	return c.readFromNodeOpts(ctx, node, path, offset, length, true)
 }
 
-// readFromNodeOpts is the RPC read primitive. note controls whether a
-// timeout feeds the failure detector: the hot-key fan-out path passes
-// false because a hedged or raced leg is expected to be abandoned — a
-// leg cancelled since a sibling won must never accumulate as evidence
-// against a healthy node (the fan-out notes the primary itself, once,
-// only on total failure).
+// errClass buckets a failed read attempt for the retry/evidence split.
+type errClass uint8
+
+const (
+	classOK      errClass = iota
+	classApp              // definitive app-level outcome (not-found, overload)
+	classTimeout          // a full TTL was consumed: detector evidence, never retried
+	classConn             // the connection died fast (reset, refused): retryable
+	classCtx              // the caller's context ended
+)
+
+// readFromNodeOpts is the RPC read primitive plus the retry policy.
+// note controls whether a failure feeds the failure detector: the
+// hot-key fan-out path passes false because a hedged or raced leg is
+// expected to be abandoned — a leg cancelled since a sibling won must
+// never accumulate as evidence against a healthy node (the fan-out
+// notes the primary itself, once, only on total failure).
+//
+// The retry/detector split (see rpc.RetryPolicy): timeout-class
+// failures are evidence immediately and never retried here; conn-class
+// failures are retried with jittered backoff and become evidence only
+// when the budget is exhausted.
 func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path string, offset, length int64, note bool) ([]byte, error) {
+	m := cliMetrics()
+	budget := 0
+	if c.cfg.Retry != nil {
+		budget = c.cfg.Retry.Retries()
+	}
+	for attempt := 0; ; attempt++ {
+		data, err, class := c.readNodeOnce(ctx, node, path, offset, length, note)
+		switch class {
+		case classOK, classApp, classCtx:
+			return data, err
+		case classTimeout:
+			if note {
+				c.noteTimeout(node)
+			}
+			return nil, err
+		default: // classConn
+			if attempt < budget && !c.closed.Load() {
+				m.retries.Inc()
+				if c.cfg.Retry.Sleep(ctx, attempt) != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			if budget > 0 {
+				m.retryExhausted.Inc()
+			}
+			if note {
+				c.noteTimeout(node)
+			}
+			return nil, err
+		}
+	}
+}
+
+// readNodeOnce performs exactly one RPC read attempt against node and
+// classifies the outcome; evidence and retries are the caller's job.
+func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path string, offset, length int64, note bool) ([]byte, error, errClass) {
 	cli, err := c.conn(node)
 	if err != nil {
-		// Dial failure is failure evidence just like a timeout.
-		if note {
-			c.noteTimeout(node)
+		switch {
+		case errors.Is(err, rpc.ErrClosed): // this client is shut down
+			return nil, err, classCtx
+		case isNetTimeout(err):
+			// The dial consumed its full timeout (a black-holed SYN):
+			// that is timeout evidence, exactly like an expired TTL.
+			return nil, err, classTimeout
+		default:
+			// Refused / no listener: fast failure, retry material.
+			return nil, err, classConn
 		}
-		return nil, err
 	}
 	req := ReadReq{Path: path, Offset: offset, Length: length}
 	start := time.Now()
@@ -491,22 +597,15 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 	if err != nil {
 		switch {
 		case errors.Is(err, rpc.ErrTimeout):
-			if note {
-				c.noteTimeout(node)
-			}
+			return nil, err, classTimeout
 		case errors.Is(err, rpc.ErrClosed):
-			if note {
-				c.noteTimeout(node)
-			}
 			c.dropConn(node)
+			return nil, err, classConn
 		case ctx.Err() != nil:
-			return nil, ctx.Err()
+			return nil, ctx.Err(), classCtx
 		default:
-			if note {
-				c.noteTimeout(node)
-			}
+			return nil, err, classTimeout
 		}
-		return nil, err
 	}
 	// Any answer — including an overload shed — proves the node alive.
 	c.tracker.RecordSuccess(node)
@@ -517,15 +616,15 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 	switch status {
 	case rpc.StatusOK:
 	case StatusNotFound:
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path), classApp
 	case StatusOverloaded:
-		return nil, fmt.Errorf("%w: %s", ErrOverloaded, node)
+		return nil, fmt.Errorf("%w: %s", ErrOverloaded, node), classApp
 	default:
-		return nil, fmt.Errorf("hvac: server error status %d: %s", status, payload)
+		return nil, fmt.Errorf("hvac: server error status %d: %s", status, payload), classApp
 	}
 	var resp ReadResp
 	if err := resp.Unmarshal(payload); err != nil {
-		return nil, err
+		return nil, err, classApp
 	}
 	// Only ordinary (non-raced) successes feed the hedge-delay p99:
 	// fan-out legs complete near the hedge delay by construction and
@@ -547,7 +646,13 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 			c.replicateAsync(path, resp.Data)
 		}
 	}
-	return resp.Data, nil
+	return resp.Data, nil, classOK
+}
+
+// isNetTimeout reports whether err is a net.Error that timed out.
+func isNetTimeout(err error) bool {
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
 }
 
 // readHot serves a read of a sketch-flagged hot key: the candidate set
@@ -775,6 +880,9 @@ func (c *Client) Push(ctx context.Context, node cluster.NodeID, path string, dat
 	defer cancel()
 	_, status, err := cli.Call(callCtx, OpPut, req.Marshal())
 	if err != nil {
+		if errors.Is(err, rpc.ErrClosed) {
+			c.dropConn(node) // stale conn to a restarted node: redial next time
+		}
 		return err
 	}
 	if status != rpc.StatusOK {
@@ -861,6 +969,12 @@ func (c *Client) Ping(ctx context.Context, node cluster.NodeID) error {
 	defer cancel()
 	_, status, err := cli.Call(callCtx, OpPing, nil)
 	if err != nil {
+		if errors.Is(err, rpc.ErrClosed) {
+			// A revival probe over a conn that died with the old process
+			// must not keep failing forever: drop it so the next probe
+			// dials the restarted listener fresh.
+			c.dropConn(node)
+		}
 		return err
 	}
 	if status != rpc.StatusOK {
@@ -874,11 +988,17 @@ func (c *Client) Ping(ctx context.Context, node cluster.NodeID) error {
 func (c *Client) Close() {
 	c.closed.Store(true)
 	c.mu.Lock()
-	conns := c.conns
-	c.conns = make(map[cluster.NodeID]*rpc.Client)
+	slots := c.conns
+	c.conns = make(map[cluster.NodeID]*connSlot)
 	c.mu.Unlock()
-	for _, cli := range conns {
-		cli.Close()
+	for _, s := range slots {
+		s.mu.Lock()
+		cli := s.cli
+		s.cli = nil
+		s.mu.Unlock()
+		if cli != nil {
+			cli.Close()
+		}
 	}
 	c.replWG.Wait()
 }

@@ -22,6 +22,13 @@ type clientMetrics struct {
 	replicaPush *telemetry.Counter   // replica writes issued
 	aborts      *telemetry.Counter   // reads terminated by RouteAbort (NoFT)
 
+	// Retry / rejoin series (zero unless Retry is set / Rejoin is used).
+	retries         *telemetry.Counter // conn-class attempts retried with backoff
+	retryExhausted  *telemetry.Counter // retry budgets exhausted (became evidence)
+	rejoins         *telemetry.Counter // node rejoins completed
+	rejoinWarmFiles *telemetry.Counter // objects warmed onto rejoining nodes
+	rejoinWarmBytes *telemetry.Counter // bytes warmed onto rejoining nodes
+
 	// Load-control series (all zero unless ClientConfig.LoadControl set).
 	coalesced     *telemetry.Counter   // reads served by joining another caller's flight
 	hedges        *telemetry.Counter   // hedge legs launched
@@ -52,6 +59,12 @@ func cliMetrics() *clientMetrics {
 			replicaPush: reg.Counter("ftc_client_replica_pushes_total"),
 			aborts:      reg.Counter("ftc_client_aborts_total"),
 
+			retries:         reg.Counter("ftc_client_retry_attempts_total"),
+			retryExhausted:  reg.Counter("ftc_client_retry_exhausted_total"),
+			rejoins:         reg.Counter("ftc_client_rejoins_total"),
+			rejoinWarmFiles: reg.Counter("ftc_client_rejoin_warm_files_total"),
+			rejoinWarmBytes: reg.Counter("ftc_client_rejoin_warm_bytes_total"),
+
 			coalesced:     reg.Counter("ftc_client_coalesced_reads_total"),
 			hedges:        reg.Counter("ftc_client_hedged_reads_total"),
 			hedgeWins:     reg.Counter("ftc_client_hedge_wins_total"),
@@ -61,6 +74,16 @@ func cliMetrics() *clientMetrics {
 			replLatency:   reg.Histogram("ftc_client_read_replica_latency_seconds"),
 			hedgeLatency:  reg.Histogram("ftc_client_read_hedged_latency_seconds"),
 		}
+		m := cliMetricsInst
+		reg.RegisterDebug("rejoin", func() any {
+			return map[string]any{
+				"retry_attempts":    m.retries.Load(),
+				"retry_exhausted":   m.retryExhausted.Load(),
+				"rejoins":           m.rejoins.Load(),
+				"rejoin_warm_files": m.rejoinWarmFiles.Load(),
+				"rejoin_warm_bytes": m.rejoinWarmBytes.Load(),
+			}
+		})
 	})
 	return cliMetricsInst
 }

@@ -22,8 +22,18 @@ type Network interface {
 	Dial(name string) (net.Conn, error)
 }
 
+// DefaultDialTimeout bounds TCP connection establishment. It must stay
+// below the failure detector's suspect budget (RPCTimeout × limit) so a
+// black-holed endpoint — a host whose switch silently drops SYNs —
+// surfaces as ordinary, bounded timeout evidence instead of hanging the
+// dialing client for the kernel's multi-minute connect timeout.
+const DefaultDialTimeout = 1 * time.Second
+
 // TCPNetwork is the Network over real TCP sockets.
-type TCPNetwork struct{}
+type TCPNetwork struct {
+	// DialTimeout bounds Dial; <= 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
+}
 
 // Listen implements Network.
 func (TCPNetwork) Listen(name string) (net.Listener, error) {
@@ -31,8 +41,12 @@ func (TCPNetwork) Listen(name string) (net.Listener, error) {
 }
 
 // Dial implements Network.
-func (TCPNetwork) Dial(name string) (net.Conn, error) {
-	return net.Dial("tcp", name)
+func (n TCPNetwork) Dial(name string) (net.Conn, error) {
+	d := n.DialTimeout
+	if d <= 0 {
+		d = DefaultDialTimeout
+	}
+	return net.DialTimeout("tcp", name, d)
 }
 
 // ErrNoEndpoint reports a dial to a name nobody is listening on.
@@ -243,6 +257,13 @@ func (h *pipeHalf) setDeadline(t time.Time, expired *bool, timer **time.Timer) {
 type bufferedPipe struct {
 	rb, wb *pipeHalf // rb: peer→us, wb: us→peer
 	addr   inprocAddr
+}
+
+// NewBufferedPipe returns the two connected endpoints of a fresh duplex
+// in-process connection, named for Addr purposes. Exported for network
+// middleware (package chaos interposes a frame relay between the two).
+func NewBufferedPipe(name string) (client, server net.Conn) {
+	return newBufferedPipe(name)
 }
 
 // newBufferedPipe returns the two connected endpoints of a fresh duplex

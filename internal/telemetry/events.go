@@ -40,6 +40,10 @@ const (
 	// replica fan-out was issued. Detail is the path, Value the object
 	// size being pushed.
 	EventHotKey
+	// EventNodeRejoined: a revived node completed the full rejoin path —
+	// probes passed, NVMe warmed, ring re-add committed. Detail is the
+	// node, Value the warmed byte count.
+	EventNodeRejoined
 )
 
 // String implements fmt.Stringer with stable wire-friendly names.
@@ -61,6 +65,8 @@ func (t EventType) String() string {
 		return "node-revived"
 	case EventHotKey:
 		return "hot-key-flagged"
+	case EventNodeRejoined:
+		return "node-rejoined"
 	default:
 		return "unknown"
 	}

@@ -60,6 +60,7 @@ func TestEventTypeStrings(t *testing.T) {
 		EventRecacheFileDone: "recache-file-done",
 		EventPFSFallback:     "pfs-fallback",
 		EventNodeRevived:     "node-revived",
+		EventNodeRejoined:    "node-rejoined",
 	} {
 		if typ.String() != want {
 			t.Errorf("EventType %d = %q, want %q", typ, typ.String(), want)
