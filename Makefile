@@ -1,0 +1,38 @@
+# FT-Cache build/test/lint entry points. Everything here is plain go
+# tool invocations — the Makefile exists so `make verify` is the one
+# command a contributor (or CI) needs to know.
+
+GOBIN := $(shell go env GOPATH)/bin
+
+.PHONY: build test race lint vet ftclint verify bench clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# ftclint builds the analyzer driver into GOPATH/bin.
+ftclint:
+	go install ./cmd/ftclint
+
+vet:
+	go vet ./...
+
+# lint = go vet plus the repo's own analyzer suite, run through the
+# vet-tool protocol so findings carry package context and caching.
+lint: ftclint vet
+	go vet -vettool=$(GOBIN)/ftclint ./...
+
+# verify is the full local gate: what CI enforces, in one command.
+verify: build lint test
+
+bench:
+	go test -run=NONE -bench=. -benchtime=100x ./internal/hashring ./internal/rpc
+
+clean:
+	go clean ./...
+	rm -f $(GOBIN)/ftclint

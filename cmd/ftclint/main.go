@@ -1,0 +1,108 @@
+// Command ftclint runs the FT-Cache analyzer suite (internal/analysis)
+// over Go packages. It enforces the repo's concurrency and resource
+// invariants statically: pooled wire-buffer lease discipline, the
+// lock-free hot-path rules, the retry-vs-detector error taxonomy,
+// all-or-nothing atomic field access, and bounded telemetry label
+// cardinality. See DESIGN.md §12.
+//
+// Two modes:
+//
+//	ftclint [packages]          standalone; defaults to ./...
+//	go vet -vettool=$(command -v ftclint) ./...
+//
+// The second form speaks cmd/go's vet-tool protocol (the same contract
+// x/tools' unitchecker implements): respond to -V=full with a stable
+// build identity, respond to -flags with the supported flag set, and
+// accept a *.cfg file describing one package's files and its import →
+// export-data maps. Findings go to stderr as file:line:col lines and
+// the exit status is non-zero when any survive suppression.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity and flag set before using it.
+	for _, a := range args {
+		if a == "-V=full" {
+			printVersion()
+			return
+		}
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage()
+		return
+	}
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ftclint [packages]\n\nAnalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a justified false positive with\n  //ftclint:ignore <analyzer> <reason>\non or directly above the reported line.\n")
+}
+
+// printVersion emits the `name version ...` line cmd/go hashes into
+// its build cache key; the binary's own digest keys invalidation.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("ftclint version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// runStandalone loads the requested module packages and applies the
+// suite.
+func runStandalone(patterns []string) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
+	pkgs, err := load.Module(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftclint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each package when
+// driving a vet tool (cmd/go/internal/work's vetConfig). Only the
+// fields ftclint consumes are declared; unknown fields are ignored.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string // import path as written -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetImporter resolves a package's imports using the cfg maps: the
+// source-level path goes through ImportMap (vendoring, test variants)
+// and the canonical path through PackageFile to export data.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	return v.ImportFrom(path, "", 0)
+}
+
+func (v *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := v.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return v.gc.ImportFrom(path, dir, mode)
+}
+
+// runVet executes one vet-protocol unit of work.
+func runVet(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ftclint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go expects the facts file to exist afterwards; the suite is
+	// package-local (no facts), so an empty one is always correct.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ftclint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "ftclint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := &vetImporter{cfg: cfg, gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+	pkg, err := load.CheckFiles(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
+
+	diags, err := ftc.RunPackage(fset, files, pkg.Types, pkg.Info, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
+	found := false
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		// Test variants flow through vet too; the suite targets
+		// shipped code, so findings in _test.go files are dropped for
+		// parity with the standalone loader.
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		found = true
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if found {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Package analysistest runs ftclint analyzers over small GOPATH-style
+// testdata packages and checks their diagnostics against expectations
+// written in the source as trailing comments:
+//
+//	reg.Counter("x", err.Error()) // want `unbounded label value`
+//
+// Each `// want` comment carries one or more quoted regular
+// expressions (double- or back-quoted); each must match a distinct
+// diagnostic reported on that line. Diagnostics with no matching
+// expectation, and expectations with no matching diagnostic, fail the
+// test. A line with no want comment asserts no diagnostic — including
+// violations suppressed by a `//ftclint:ignore` on that line, which is
+// how suppression honoring is tested.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one quoted regexp from a want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads srcRoot/pkgPath, applies the analyzers, and diffs the
+// diagnostics against the package's want comments.
+func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*ftc.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(srcRoot, filepath.Join(srcRoot, filepath.FromSlash(pkgPath)))
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmet expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(expects []*expectation, pos token.Position, msg string) bool {
+	for _, e := range expects {
+		if !e.met && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(msg) {
+			e.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want expectation from the package's
+// comments.
+func collectWants(pkg *load.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are not expectations
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		lit, rest, err := cutQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = rest
+	}
+}
+
+// cutQuoted unquotes the Go string literal at the front of s.
+func cutQuoted(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			lit, err = strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}

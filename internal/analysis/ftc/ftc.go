@@ -1,0 +1,317 @@
+// Package ftc is the minimal static-analysis framework the ftclint
+// analyzers are written against. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) so the
+// passes can be ported mechanically if that module ever becomes a
+// dependency — but it is stdlib-only, because this repo vendors nothing.
+//
+// Two comment conventions are defined here and honored suite-wide:
+//
+//   - `//ftc:hotpath` in a function's doc comment marks it as part of
+//     the lock-free hot path; the hotpathlock analyzer enforces the
+//     concurrency rules of DESIGN.md §12 on marked functions and on
+//     every same-package function they reach.
+//   - `//ftclint:ignore <analyzer> <reason>` on (or immediately above)
+//     a reported line suppresses that analyzer's finding there. The
+//     reason is mandatory: a suppression without a justification is
+//     itself reported.
+package ftc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//ftclint:ignore <name> ...` suppressions.
+	Name string
+	// Doc is the one-paragraph rule statement shown by `ftclint -help`.
+	Doc string
+	// Run applies the check to one package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// populated. Loaders share it so no pass finds a nil map.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// HotPathDirective is the doc-comment directive marking a hot-path
+// function.
+const HotPathDirective = "//ftc:hotpath"
+
+// ignorePrefix introduces a suppression comment.
+const ignorePrefix = "//ftclint:ignore"
+
+// HasHotPath reports whether fn's doc comment carries the
+// `//ftc:hotpath` directive.
+func HasHotPath(fn *ast.FuncDecl) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, HotPathDirective); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreKey locates one suppression: a file/line pair plus the analyzer
+// it silences ("*" silences all).
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Suppressions indexes every `//ftclint:ignore` comment in files.
+// Malformed suppressions (missing analyzer or missing reason) are
+// returned as diagnostics in their own right, attributed to "ftclint".
+type Suppressions struct {
+	keys map[ignoreKey]bool
+}
+
+// CollectSuppressions scans files for suppression comments. A trailing
+// ignore (sharing its line with code) covers only that line; a
+// standalone ignore covers only the line below it — never both, so an
+// ignore cannot silently swallow a second, unrelated finding.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) (*Suppressions, []Diagnostic) {
+	s := &Suppressions{keys: map[ignoreKey]bool{}}
+	var bad []Diagnostic
+	for _, f := range files {
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil:
+				return false
+			case *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			codeLines[fset.Position(n.End()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "ftclint",
+						Pos:      c.Pos(),
+						Message:  "malformed ftclint:ignore: need `//ftclint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if !codeLines[line] {
+					line++ // standalone: covers the line below
+				}
+				s.keys[ignoreKey{pos.Filename, line, fields[0]}] = true
+			}
+		}
+	}
+	return s, bad
+}
+
+// Suppressed reports whether d is silenced by an ignore comment
+// covering its line (trailing on the line itself, or standalone on the
+// line above).
+func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if s == nil {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, name := range []string{d.Analyzer, "*"} {
+		if s.keys[ignoreKey{pos.Filename, pos.Line, name}] {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage applies every analyzer to one package and returns the
+// surviving findings (suppressions applied, malformed suppressions
+// included) ordered by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup, diags := CollectSuppressions(fset, files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			report: func(d Diagnostic) {
+				if !sup.Suppressed(fset, d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// --- shared type/AST helpers used by several passes ---
+
+// PkgNamed reports whether pkg is named name. Analyzer keying matches
+// on package *name* (wire, telemetry, hvac, rpc) rather than import
+// path so the analysistest stub packages exercise the same code paths
+// the real repro packages do.
+func PkgNamed(pkg *types.Package, name string) bool {
+	return pkg != nil && pkg.Name() == name
+}
+
+// PkgPathIs reports whether pkg's import path is exactly path (used
+// for stdlib packages, whose paths are canonical everywhere).
+func PkgPathIs(pkg *types.Package, path string) bool {
+	return pkg != nil && pkg.Path() == path
+}
+
+// CalleeObject resolves the object a call expression invokes, seeing
+// through parentheses. It returns nil for calls through function
+// values, builtins, and type conversions.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Fn.
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// ReceiverNamed reports whether fn is a method whose receiver's named
+// type is typeName declared in a package named pkgName.
+func ReceiverNamed(fn *types.Func, pkgName, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && PkgNamed(obj.Pkg(), pkgName)
+}
+
+// FuncFor returns the FuncDecl in files whose declared object is obj,
+// or nil. Used by call-graph-aware passes to find same-package callee
+// bodies.
+func FuncFor(info *types.Info, files []*ast.File, obj types.Object) *ast.FuncDecl {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// RootIdent digs to the leftmost identifier of an expression chain
+// (x, x.f, x[i].g, (*x).f → x), or nil if the root is not a plain
+// identifier.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// DeclaredWithin reports whether obj is declared inside the half-open
+// position interval [lo, hi) — e.g. local to a function body.
+func DeclaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos().IsValid() && lo <= obj.Pos() && obj.Pos() < hi
+}

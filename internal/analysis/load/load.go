@@ -1,0 +1,316 @@
+// Package load type-checks Go packages for the ftclint analyzers
+// without golang.org/x/tools: it drives `go list -deps -export` for
+// package metadata and resolves every import from the compiler's
+// export data via the stdlib gc importer. Two loaders are provided:
+//
+//   - Module: loads packages of the enclosing module by pattern
+//     (`./...`), the standalone ftclint path and the repo-wide
+//     "suite is clean" meta-test.
+//   - Dir: loads a single GOPATH-style package rooted under a source
+//     tree (internal/analysis/testdata/src), resolving non-stdlib
+//     imports from sibling directories — the analysistest path, where
+//     stub dependency packages live next to the package under test.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/ftc"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loaders use.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path, Dir string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes
+// the JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files, the
+// way the compiler itself sees dependencies. extra maps import paths to
+// already-type-checked packages (source-loaded testdata stubs) and wins
+// over export data.
+type exportImporter struct {
+	gc    types.ImporterFrom
+	extra map[string]*types.Package
+}
+
+func newExportImporter(fset *token.FileSet, exportFiles map[string]string, extra map[string]*types.Package) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc:    importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		extra: extra,
+	}
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := imp.extra[path]; ok {
+		return p, nil
+	}
+	return imp.gc.ImportFrom(path, dir, mode)
+}
+
+// nonTestGoFiles drops _test.go entries; the analyzers target shipped
+// code, and the vet driver applies the same filter when reporting.
+func nonTestGoFiles(files []string) []string {
+	out := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(f, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseFiles parses the named files (joined onto dir) with comments.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckFiles type-checks already-parsed files as package path using
+// imp, returning the analysis-ready Package.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := ftc.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{PkgPath: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Module loads the module packages matching patterns (relative to
+// dir), type-checked against export data. Test files are excluded.
+// Packages with no non-test Go files (external-test-only) are skipped.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fields := "-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module"
+	targets, err := goList(dir, append([]string{fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-export", fields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exportFiles := map[string]string{}
+	for _, p := range deps {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exportFiles, nil)
+	var out []*Package
+	for _, t := range targets {
+		names := nonTestGoFiles(t.GoFiles)
+		if len(names) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, t.Dir, names)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := CheckFiles(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// dirLoader loads GOPATH-style packages under srcRoot, type-checking
+// sibling (stub) packages from source and everything else from stdlib
+// export data.
+type dirLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	loaded  map[string]*types.Package // import path -> source-checked package
+	imp     *exportImporter
+}
+
+// Dir loads the single package in pkgDir, resolving imports that
+// resolve to directories under srcRoot from source, and the rest
+// (stdlib) from export data. It returns the target package; stub
+// dependencies are type-checked but not returned.
+func Dir(srcRoot, pkgDir string) (*Package, error) {
+	l := &dirLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		loaded:  map[string]*types.Package{},
+	}
+
+	// One pass over the whole tree to collect every import that is not
+	// a sibling source package, then one `go list` to map those (and
+	// their dependencies) to export data.
+	external, err := l.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	exportFiles := map[string]string{}
+	if len(external) > 0 {
+		args := append([]string{"-deps", "-export", "-json=ImportPath,Export,Standard"}, external...)
+		pkgs, err := goList(srcRoot, args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportFiles[p.ImportPath] = p.Export
+			}
+		}
+	}
+	l.imp = newExportImporter(l.fset, exportFiles, nil)
+
+	rel, err := filepath.Rel(srcRoot, pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(filepath.ToSlash(rel))
+}
+
+// externalImports walks srcRoot and returns the sorted set of imports
+// that do not resolve to directories under it.
+func (l *dirLoader) externalImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.Walk(l.srcRoot, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// load type-checks the package at import path (relative to srcRoot),
+// recursively loading sibling imports from source first.
+func (l *dirLoader) load(path string) (*Package, error) {
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files, err := parseFiles(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Source-load sibling imports depth-first so the importer can hand
+	// them out.
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if l.loaded[p] != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				dep, err := l.load(p)
+				if err != nil {
+					return nil, err
+				}
+				l.loaded[p] = dep.Types
+			}
+		}
+	}
+
+	imp := &exportImporter{gc: l.imp.gc, extra: l.loaded}
+	return CheckFiles(l.fset, path, files, imp)
+}

@@ -1,0 +1,217 @@
+// Package hotpathlock enforces the lock-free hot-path discipline
+// introduced with the COW hash ring (DESIGN.md §8): a function whose
+// doc comment carries `//ftc:hotpath` must not
+//
+//   - acquire a mutex-class primitive: (*sync.Mutex).Lock,
+//     (*sync.RWMutex).Lock/RLock, (*sync.Once).Do,
+//     (*sync.WaitGroup).Wait, (*sync.Cond).Wait;
+//   - write to (or delete from) a map that is not local to the
+//     function — concurrent map writes are the canonical lock-needing
+//     operation, so a shared map write inside a lock-free function is
+//     either a race or a hidden lock dependency;
+//   - call into package fmt — the fmt fast paths allocate and take
+//     interface round-trips the per-I/O path must not pay;
+//   - call a same-package function that does any of the above. The
+//     call graph is walked with a package-local summary: a callee that
+//     is itself marked `//ftc:hotpath` is trusted (it is checked at
+//     its own definition); an unmarked callee is analyzed transitively
+//     and a violation inside it is reported at the hot-path call site.
+//
+// Cross-package calls (other than the denylist above) are not
+// analyzed — package-local summaries only, per the design: hot-path
+// leaf dependencies (sync/atomic, container/list lookups, telemetry
+// handles) are vetted by their own package's markings.
+package hotpathlock
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/ftc"
+)
+
+// Analyzer is the hotpathlock pass.
+var Analyzer = &ftc.Analyzer{
+	Name: "hotpathlock",
+	Doc:  "functions marked //ftc:hotpath must not lock, write shared maps, or call fmt (transitively within the package)",
+	Run:  run,
+}
+
+// blockingSyncMethods are the sync primitives that can block or spin
+// on another goroutine.
+var blockingSyncMethods = map[string]map[string]bool{
+	"Mutex":     {"Lock": true},
+	"RWMutex":   {"Lock": true, "RLock": true},
+	"Once":      {"Do": true},
+	"WaitGroup": {"Wait": true},
+	"Cond":      {"Wait": true},
+}
+
+// violation is one rule breach found in a function body.
+type violation struct {
+	pos  token.Pos
+	what string
+}
+
+type checker struct {
+	pass *ftc.Pass
+	// summaries memoizes per-function violation lists; a nil entry
+	// marks a function currently on the DFS stack (cycle guard).
+	summaries map[types.Object][]violation
+	onStack   map[types.Object]bool
+}
+
+func run(pass *ftc.Pass) error {
+	c := &checker{
+		pass:      pass,
+		summaries: map[types.Object][]violation{},
+		onStack:   map[types.Object]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ftc.HasHotPath(fd) {
+				continue
+			}
+			for _, v := range c.analyze(fd) {
+				pass.Reportf(v.pos, "hot-path function %s %s", fd.Name.Name, v.what)
+			}
+		}
+	}
+	return nil
+}
+
+// analyze returns fd's direct violations plus one violation per call
+// site whose same-package callee has violations of its own.
+func (c *checker) analyze(fd *ast.FuncDecl) []violation {
+	obj := c.pass.Info.Defs[fd.Name]
+	if obj != nil {
+		if sum, ok := c.summaries[obj]; ok {
+			return sum
+		}
+		if c.onStack[obj] {
+			return nil // recursion: the cycle's body is checked at its entry
+		}
+		c.onStack[obj] = true
+		defer func() { c.onStack[obj] = false }()
+	}
+
+	var out []violation
+	body := fd.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if v, ok := c.checkCall(n, body); ok {
+				out = append(out, v)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if v, ok := c.checkMapWrite(lhs, body); ok {
+					out = append(out, v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if v, ok := c.checkMapWrite(n.X, body); ok {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	if obj != nil {
+		c.summaries[obj] = out
+	}
+	return out
+}
+
+// checkCall classifies one call expression inside a hot-path body.
+func (c *checker) checkCall(call *ast.CallExpr, body *ast.BlockStmt) (violation, bool) {
+	info := c.pass.Info
+
+	// delete(m, k) is a map write.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			if v, bad := c.checkMapWrite(&ast.IndexExpr{X: call.Args[0]}, body); bad {
+				v.pos = call.Pos()
+				v.what = "deletes from a non-local map"
+				return v, true
+			}
+		}
+	}
+
+	callee := ftc.CalleeObject(info, call)
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		return violation{}, false
+	}
+
+	// Denylisted leaf operations.
+	if ftc.PkgPathIs(fn.Pkg(), "fmt") {
+		return violation{call.Pos(), fmt.Sprintf("calls fmt.%s (allocates via fmt)", fn.Name())}, true
+	}
+	if ftc.PkgPathIs(fn.Pkg(), "sync") {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				if blockingSyncMethods[named.Obj().Name()][fn.Name()] {
+					return violation{call.Pos(), fmt.Sprintf("acquires (*sync.%s).%s", named.Obj().Name(), fn.Name())}, true
+				}
+			}
+		}
+	}
+
+	// Same-package callee: trust marked functions, summarize unmarked.
+	if fn.Pkg() != c.pass.Pkg {
+		return violation{}, false
+	}
+	decl := ftc.FuncFor(info, c.pass.Files, fn)
+	if decl == nil || decl.Body == nil {
+		return violation{}, false
+	}
+	if ftc.HasHotPath(decl) {
+		return violation{}, false // verified at its own definition
+	}
+	if sub := c.analyze(decl); len(sub) > 0 {
+		first := sub[0]
+		return violation{call.Pos(), fmt.Sprintf("calls %s, which %s (at %s)", fn.Name(), first.what, c.pass.Fset.Position(first.pos))}, true
+	}
+	return violation{}, false
+}
+
+// checkMapWrite reports an assignment target that indexes a map whose
+// root variable is not local to body.
+func (c *checker) checkMapWrite(lhs ast.Expr, body *ast.BlockStmt) (violation, bool) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return violation{}, false
+	}
+	tv, ok := c.pass.Info.Types[idx.X]
+	if !ok {
+		// Synthetic node from the delete() path: re-type the operand.
+		tv, ok = c.pass.Info.Types[ast.Unparen(idx.X)]
+	}
+	if !ok {
+		return violation{}, false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return violation{}, false
+	}
+	root := ftc.RootIdent(idx.X)
+	if root != nil {
+		obj := c.pass.Info.Uses[root]
+		if obj == nil {
+			obj = c.pass.Info.Defs[root]
+		}
+		if ftc.DeclaredWithin(obj, body.Pos(), body.End()) {
+			// Freshly built in this function: single-goroutine by
+			// construction, allowed (e.g. a plan's Moves map).
+			return violation{}, false
+		}
+	}
+	return violation{lhs.Pos(), "writes a non-local map"}, true
+}

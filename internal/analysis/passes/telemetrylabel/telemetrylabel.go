@@ -1,0 +1,149 @@
+// Package telemetrylabel keeps the metrics registry low-cardinality:
+// label values passed to telemetry.Registry's Counter / Gauge /
+// Histogram / CounterFunc / GaugeFunc must be bounded — constants,
+// node IDs, enum strings — never raw object keys, error text, or
+// formatted request data. One unbounded label value turns a fixed
+// family of series into one series per key, which is both a memory
+// leak (registry entries are never evicted) and a scrape-size
+// explosion; PR 2 paid for the lock-free write path precisely by
+// keeping registration rare and the series set small.
+//
+// The rule is a syntactic denylist over each label-value argument:
+//
+//   - allowed: constant expressions (literals, consts), plain
+//     variables and field selections of type string, and conversions
+//     string(x) where x's type is a named non-string type (NodeID and
+//     friends — bounded identifier sets by construction);
+//   - rejected: any call result (fmt.Sprintf, err.Error(),
+//     strconv.Itoa, ...), string concatenation involving a
+//     non-constant operand, indexing, and conversions from unnamed
+//     string/[]byte/[]rune types (raw request data).
+//
+// Label keys (the even-position variadic arguments) must be constant
+// strings outright.
+package telemetrylabel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/ftc"
+)
+
+// Analyzer is the telemetrylabel pass.
+var Analyzer = &ftc.Analyzer{
+	Name: "telemetrylabel",
+	Doc:  "telemetry label values must be bounded (constants, IDs, enum strings), never raw keys, errors, or formatted data",
+	Run:  run,
+}
+
+// labelMethods maps Registry method names to the index of the first
+// variadic label argument.
+var labelMethods = map[string]int{
+	"Counter":     1,
+	"Gauge":       1,
+	"Histogram":   1,
+	"CounterFunc": 2,
+	"GaugeFunc":   2,
+}
+
+func run(pass *ftc.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := ftc.CalleeObject(pass.Info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			start, ok := labelMethods[fn.Name()]
+			if !ok || !ftc.ReceiverNamed(fn, "telemetry", "Registry") {
+				return true
+			}
+			if call.Ellipsis != token.NoPos {
+				pass.Reportf(call.Ellipsis, "label pairs expanded with ... cannot be checked for bounded cardinality; pass them explicitly")
+				return true
+			}
+			for i := start; i < len(call.Args); i++ {
+				arg := call.Args[i]
+				isKey := (i-start)%2 == 0
+				if isKey {
+					if !isConstant(pass.Info, arg) {
+						pass.Reportf(arg.Pos(), "label key must be a constant string")
+					}
+					continue
+				}
+				if bad, why := unboundedValue(pass.Info, arg); bad {
+					pass.Reportf(arg.Pos(), "unbounded label value (%s); label values must be constants, node IDs, or enum strings", why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// unboundedValue classifies a label-value expression, returning a
+// human reason when it is rejected.
+func unboundedValue(info *types.Info, e ast.Expr) (bool, string) {
+	e = ast.Unparen(e)
+	if isConstant(info, e) {
+		return false, ""
+	}
+	switch v := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		// A plain variable or field: assumed to hold a bounded
+		// identifier (node ID, shard name). The forms that smuggle in
+		// request data are the computed ones below.
+		return false, ""
+	case *ast.CallExpr:
+		// string(x) conversions of named types are enum-to-string; any
+		// true call (fmt.Sprintf, err.Error, strconv.Itoa) is rejected.
+		if len(v.Args) == 1 {
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+				return convUnbounded(info, v.Args[0])
+			}
+		}
+		if fn, ok := ftc.CalleeObject(info, v).(*types.Func); ok {
+			return true, "result of " + fn.FullName()
+		}
+		return true, "result of a function call"
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD {
+			return true, "string concatenation builds per-request values"
+		}
+		return true, "computed expression"
+	case *ast.IndexExpr:
+		return true, "indexed expression"
+	default:
+		return true, "computed expression"
+	}
+}
+
+// convUnbounded decides whether string(x) is an enum rendering (x has
+// a named non-string type) or a raw-data copy (x is an unnamed string,
+// []byte, or []rune).
+func convUnbounded(info *types.Info, operand ast.Expr) (bool, string) {
+	tv, ok := info.Types[ast.Unparen(operand)]
+	if !ok {
+		return true, "conversion of unknown operand"
+	}
+	if tv.Value != nil {
+		return false, ""
+	}
+	if named, ok := tv.Type.(*types.Named); ok {
+		// string(NodeID) and friends: a named identifier type.
+		if _, isBasic := named.Underlying().(*types.Basic); isBasic {
+			return false, ""
+		}
+	}
+	return true, "conversion from raw data"
+}

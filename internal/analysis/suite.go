@@ -1,0 +1,26 @@
+// Package analysis assembles the ftclint analyzer suite: the custom
+// static checks that keep FT-Cache's concurrency and resource
+// invariants — introduced across PRs 1–4 as comments and review lore —
+// machine-enforced. See DESIGN.md §12 for the rule catalogue and
+// cmd/ftclint for the driver (standalone or `go vet -vettool`).
+package analysis
+
+import (
+	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/passes/atomicfield"
+	"repro/internal/analysis/passes/errclass"
+	"repro/internal/analysis/passes/hotpathlock"
+	"repro/internal/analysis/passes/poollease"
+	"repro/internal/analysis/passes/telemetrylabel"
+)
+
+// All returns the full ftclint suite in stable order.
+func All() []*ftc.Analyzer {
+	return []*ftc.Analyzer{
+		atomicfield.Analyzer,
+		errclass.Analyzer,
+		hotpathlock.Analyzer,
+		poollease.Analyzer,
+		telemetrylabel.Analyzer,
+	}
+}

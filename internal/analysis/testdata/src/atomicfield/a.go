@@ -1,0 +1,42 @@
+// Test cases for the atomicfield analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `plain access to field n, which is accessed atomically`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `plain access to field n, which is accessed atomically`
+}
+
+// plainOnly is fine: hits is never accessed atomically anywhere.
+func (c *counter) plainOnly() int64 {
+	c.hits++
+	return c.hits
+}
+
+// newCounter is the pre-publication initialization idiom: composite
+// literal keys are exempt.
+func newCounter() *counter {
+	return &counter{n: 0, hits: 0}
+}
+
+func (c *counter) suppressed() int64 {
+	//ftclint:ignore atomicfield snapshot path: writers are quiesced under the registry lock here
+	return c.n
+}

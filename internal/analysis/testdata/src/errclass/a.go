@@ -1,0 +1,85 @@
+// Test cases for the errclass analyzer. The package is named hvac
+// because the pass keys on the package name, and the enum by its type
+// name errClass.
+package hvac
+
+import "rpc"
+
+type errClass int
+
+const (
+	classOK errClass = iota
+	classApp
+	classTimeout
+	classConn
+)
+
+func exhaustiveOK(c errClass) int {
+	switch c {
+	case classOK:
+		return 0
+	case classApp:
+		return 1
+	case classTimeout:
+		return 2
+	case classConn:
+		return 3
+	}
+	return -1
+}
+
+func missingConn(c errClass) int {
+	switch c { // want `switch over errClass is not exhaustive: missing \[classConn\]`
+	case classOK, classApp:
+		return 0
+	case classTimeout:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func timeoutRetried(c errClass, p rpc.RetryPolicy) {
+	for i := 0; i < p.Retries(); i++ {
+		switch c {
+		case classOK, classApp:
+			return
+		case classConn:
+			p.Backoff(i)
+		case classTimeout:
+			p.Backoff(i) // want `rpc\.RetryPolicy\.Backoff called in a classTimeout clause`
+			continue     // want `continue in a classTimeout clause retries a timeout-class failure`
+		}
+	}
+}
+
+// timeoutHandledOK records the evidence and falls out of the loop —
+// the correct consumption of a timeout.
+func timeoutHandledOK(c errClass, p rpc.RetryPolicy) bool {
+	for i := 0; i < p.Retries(); i++ {
+		switch c {
+		case classOK:
+			return true
+		case classApp:
+			return false
+		case classConn:
+			p.Backoff(i)
+			continue
+		case classTimeout:
+			return false
+		}
+	}
+	return false
+}
+
+func suppressedTimeoutRetry(c errClass) {
+	for {
+		switch c {
+		case classOK, classApp, classConn:
+			return
+		case classTimeout:
+			//ftclint:ignore errclass warmup probe loop deliberately re-probes timeouts before serving
+			continue
+		}
+	}
+}

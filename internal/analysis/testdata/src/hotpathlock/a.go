@@ -1,0 +1,87 @@
+// Test cases for the hotpathlock analyzer.
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	once  sync.Once
+	items map[string]int
+}
+
+//ftc:hotpath
+func (s *store) LockedGet(k string) int {
+	s.mu.Lock() // want `hot-path function LockedGet acquires \(\*sync\.Mutex\)\.Lock`
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+//ftc:hotpath
+func (s *store) LazyInit() {
+	s.once.Do(func() {}) // want `hot-path function LazyInit acquires \(\*sync\.Once\)\.Do`
+}
+
+//ftc:hotpath
+func (s *store) Put(k string, v int) {
+	s.items[k] = v // want `hot-path function Put writes a non-local map`
+}
+
+//ftc:hotpath
+func (s *store) Drop(k string) {
+	delete(s.items, k) // want `hot-path function Drop deletes from a non-local map`
+}
+
+//ftc:hotpath
+func (s *store) Describe(k string) string {
+	return fmt.Sprintf("item %s", k) // want `hot-path function Describe calls fmt\.Sprintf`
+}
+
+func slowHelper(s *store) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+//ftc:hotpath
+func (s *store) Indirect() {
+	slowHelper(s) // want `hot-path function Indirect calls slowHelper, which acquires`
+}
+
+// LocalMap builds and fills a map local to the call: single-goroutine
+// by construction, allowed.
+//
+//ftc:hotpath
+func (s *store) LocalMap() int {
+	seen := map[string]int{}
+	seen["x"] = 1
+	delete(seen, "x")
+	return len(seen)
+}
+
+// trusted is itself marked, so callers do not re-analyze it.
+//
+//ftc:hotpath
+func trusted() {}
+
+//ftc:hotpath
+func (s *store) CallsTrusted() {
+	trusted()
+}
+
+// ReadOnly demonstrates the allowed operations: map reads and
+// non-blocking sync calls (Unlock is release, not acquire).
+//
+//ftc:hotpath
+func (s *store) ReadOnly(k string) (int, bool) {
+	v, ok := s.items[k]
+	return v, ok
+}
+
+//ftc:hotpath
+func (s *store) Suppressed() {
+	//ftclint:ignore hotpathlock startup-only: runs before the ring is published to readers
+	s.mu.Lock()
+	s.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+// Test cases for the poollease analyzer.
+package a
+
+import (
+	"errors"
+	"io"
+
+	"wire"
+)
+
+func use(b []byte) {}
+
+func hold(l *wire.Buf) {}
+
+// okDefer is the canonical handler shape: err guard, then defer.
+func okDefer(r io.Reader) error {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return err
+	}
+	defer lease.Release()
+	use(f.Payload)
+	return nil
+}
+
+// okInline releases explicitly after the last use.
+func okInline(r io.Reader) {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	use(f.Payload)
+	lease.Release()
+}
+
+// okGoroutineHandoff transfers the obligation into the goroutine.
+func okGoroutineHandoff(r io.Reader) {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	go func() {
+		defer lease.Release()
+		use(f.Payload)
+	}()
+}
+
+// okCallHandoff passes the lease on; the callee owns it now.
+func okCallHandoff(r io.Reader) {
+	_, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	hold(lease)
+}
+
+// leakEarlyReturn is the regression class the pass exists for: an
+// early return added between the acquisition and the release.
+func leakEarlyReturn(r io.Reader) error {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return err
+	}
+	if len(f.Payload) == 0 {
+		return errors.New("empty") // want `lease acquired at .* is not released on this path`
+	}
+	lease.Release()
+	return nil
+}
+
+// useAfterRelease reads the payload after the pool may have reused it.
+func useAfterRelease(r io.Reader) {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	lease.Release()
+	use(f.Payload) // want `f used after the pooled lease was released`
+}
+
+// returnAfterRelease hands the caller an invalidated payload.
+func returnAfterRelease(r io.Reader) []byte {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return nil
+	}
+	lease.Release()
+	return f.Payload // want `f used after the pooled lease was released` `returning the pooled frame payload`
+}
+
+// discard can never release.
+func discard(r io.Reader) {
+	wire.ReadFramePooled(r, 1<<20) // want `result discarded`
+}
+
+// blankLease can never release either.
+func blankLease(r io.Reader) {
+	f, _, err := wire.ReadFramePooled(r, 1<<20) // want `lease assigned to _`
+	_, _ = f, err
+}
+
+// goroutineCapture leaks the payload into a goroutine the parent
+// cannot synchronize with.
+func goroutineCapture(r io.Reader) {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	go use(f.Payload) // want `goroutine captures the pooled frame or lease without releasing it`
+	lease.Release()
+}
+
+// suppressedEarlyReturn is a justified false positive: the enclosing
+// connection teardown reclaims the pool wholesale.
+func suppressedEarlyReturn(r io.Reader) error {
+	f, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return err
+	}
+	if len(f.Payload) == 0 {
+		//ftclint:ignore poollease shutdown-only path; the pool is reclaimed with the connection
+		return nil
+	}
+	lease.Release()
+	return nil
+}

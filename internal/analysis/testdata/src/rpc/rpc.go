@@ -1,0 +1,17 @@
+// Package rpc stubs the repro rpc package's RetryPolicy for
+// analysistest; the errclass analyzer keys on the package name and the
+// receiver type name.
+package rpc
+
+import (
+	"context"
+	"time"
+)
+
+type RetryPolicy struct {
+	MaxRetries int
+}
+
+func (p RetryPolicy) Retries() int                  { return p.MaxRetries }
+func (p RetryPolicy) Backoff(attempt int) time.Duration { return time.Duration(attempt) }
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error { return nil }

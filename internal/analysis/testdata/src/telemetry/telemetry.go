@@ -1,0 +1,16 @@
+// Package telemetry stubs the repro telemetry Registry surface for
+// analysistest; the telemetrylabel analyzer keys on the package name,
+// the Registry type name, and the five method names.
+package telemetry
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram { return &Histogram{} }
+func (r *Registry) CounterFunc(name string, fn func() int64, labelPairs ...string) {}
+func (r *Registry) GaugeFunc(name string, fn func() int64, labelPairs ...string)   {}

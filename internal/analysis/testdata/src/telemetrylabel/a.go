@@ -1,0 +1,48 @@
+// Test cases for the telemetrylabel analyzer.
+package a
+
+import (
+	"fmt"
+
+	"telemetry"
+)
+
+type NodeID string
+
+type server struct {
+	reads int64
+}
+
+func (s *server) loadReads() int64 { return s.reads }
+
+func register(reg *telemetry.Registry, node NodeID, key string, err error) {
+	// Bounded values: constants, plain variables, named-type conversions.
+	reg.Counter("ftc_reads_total", "node", string(node))
+	reg.Gauge("ftc_depth", "tier", "nvme")
+	shard := "s0"
+	reg.Histogram("ftc_read_seconds", "shard", shard)
+
+	// Unbounded values.
+	reg.Counter("ftc_reads_total", "key", key+"!")             // want `string concatenation builds per-request values`
+	reg.Counter("ftc_errors_total", "err", err.Error())        // want `unbounded label value \(result of \(error\)\.Error\)`
+	reg.Gauge("ftc_depth", "req", fmt.Sprintf("%s", key))      // want `unbounded label value \(result of fmt\.Sprintf\)`
+	reg.Histogram("ftc_read_seconds", "raw", string([]byte(key))) // want `conversion from raw data`
+
+	// Keys must be constant.
+	reg.Counter("ftc_reads_total", key, "x") // want `label key must be a constant string`
+
+	// Splatted pairs cannot be checked.
+	pairs := []string{"node", "n1"}
+	reg.Counter("ftc_reads_total", pairs...) // want `label pairs expanded with \.\.\. cannot be checked`
+}
+
+func registerFuncs(reg *telemetry.Registry, s *server, key string) {
+	// Label positions shift by one for the *Func variants.
+	reg.CounterFunc("ftc_server_reads_total", s.loadReads, "node", "n1")
+	reg.GaugeFunc("ftc_queue_depth", s.loadReads, "key", key[:4]) // want `unbounded label value \(computed expression\)`
+}
+
+func suppressed(reg *telemetry.Registry, trace string) {
+	//ftclint:ignore telemetrylabel trace IDs are sampled to 1% and the debug registry is flushed hourly
+	reg.Counter("ftc_debug_traces_total", "trace", trace+"!")
+}

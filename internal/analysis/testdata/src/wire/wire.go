@@ -1,0 +1,23 @@
+// Package wire is a minimal stub of the repro wire package for
+// analysistest: the poollease analyzer keys on the package name and the
+// ReadFramePooled / (*Buf).Release shapes, so the stub only needs those.
+package wire
+
+import "io"
+
+type Frame struct {
+	Kind    uint8
+	Payload []byte
+}
+
+type Buf struct{ released bool }
+
+func (b *Buf) Release() {
+	if b != nil {
+		b.released = true
+	}
+}
+
+func ReadFramePooled(r io.Reader, maxPayload int) (Frame, *Buf, error) {
+	return Frame{}, &Buf{}, nil
+}

@@ -38,10 +38,12 @@ import (
 	"repro/internal/ftcache"
 	"repro/internal/hvac"
 	"repro/internal/rpc"
+	"repro/internal/testutil"
 	"repro/internal/workload"
 )
 
 func TestChaosSoak(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	seeds := []int64{1, 2, 3}
 	if testing.Short() {
 		seeds = seeds[:1]

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ftcache"
 	"repro/internal/hvac"
+	"repro/internal/testutil"
 )
 
 // TestRejoinWarmsKilledNode: the full elastic re-expansion protocol
@@ -15,6 +16,7 @@ import (
 // node's NVMe from the surviving owners *before* the ring swap, so the
 // post-rejoin epoch runs PFS-free even though the node came back empty.
 func TestRejoinWarmsKilledNode(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	c := newTestCluster(t, 6, ftcache.KindNVMe)
 	ds := smallDataset(120)
 	c.Stage(ds)
@@ -86,6 +88,7 @@ func TestRejoinWarmsKilledNode(t *testing.T) {
 // detects the kill, later detects the recovery (K consecutive probes),
 // fires OnRevive, and the client rejoins with warmup, no manual steps.
 func TestHeartbeatDrivenAutoRejoin(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	c := newTestCluster(t, 5, ftcache.KindNVMe)
 	ds := smallDataset(60)
 	c.Stage(ds)

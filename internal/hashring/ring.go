@@ -24,7 +24,6 @@
 package hashring
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,22 +43,20 @@ type ringMetrics struct {
 	plans     *telemetry.Counter // PlanRecache invocations
 }
 
-var (
-	ringMetricsOnce sync.Once
-	ringMetricsInst *ringMetrics
-)
+// ringMetricsInst is initialized eagerly at package init rather than
+// behind a sync.Once: metrics() is reached from PlanRecache, which is
+// on the failure-handling hot path, and a Once.Do there would put a
+// lock acquisition (and a cold-start stall) on it.
+var ringMetricsInst = func() *ringMetrics {
+	reg := telemetry.Default()
+	return &ringMetrics{
+		swaps:     reg.Counter("ftc_ring_snapshot_swaps_total"),
+		keysMoved: reg.Counter("ftc_ring_keys_moved_total"),
+		plans:     reg.Counter("ftc_ring_recache_plans_total"),
+	}
+}()
 
-func metrics() *ringMetrics {
-	ringMetricsOnce.Do(func() {
-		reg := telemetry.Default()
-		ringMetricsInst = &ringMetrics{
-			swaps:     reg.Counter("ftc_ring_snapshot_swaps_total"),
-			keysMoved: reg.Counter("ftc_ring_keys_moved_total"),
-			plans:     reg.Counter("ftc_ring_recache_plans_total"),
-		}
-	})
-	return ringMetricsInst
-}
+func metrics() *ringMetrics { return ringMetricsInst }
 
 // NodeID identifies a physical node (an HVAC server instance).
 type NodeID string
@@ -325,11 +322,15 @@ func filterPoints(pts []point, node NodeID) []point {
 // or clockwise-after the key's hash (wrapping around). ok is false when
 // the ring has no members. Lock-free: it binary-searches the current
 // immutable snapshot.
+//
+//ftc:hotpath
 func (r *Ring) Owner(key string) (NodeID, bool) {
 	return ownerOf(r.snap.Load().points, r.KeyHash(key))
 }
 
 // OwnerOfHash returns the node owning an already-computed ring position.
+//
+//ftc:hotpath
 func (r *Ring) OwnerOfHash(h uint64) (NodeID, bool) {
 	return ownerOf(r.snap.Load().points, h)
 }
@@ -337,6 +338,8 @@ func (r *Ring) OwnerOfHash(h uint64) (NodeID, bool) {
 // Owners returns up to n distinct physical nodes encountered walking
 // clockwise from key's position. The first element equals Owner(key).
 // Used for replica placement experiments; ok is false on an empty ring.
+//
+//ftc:hotpath
 func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
 	h := r.KeyHash(key)
 	pts := r.snap.Load().points
@@ -370,6 +373,8 @@ func (r *Ring) Owners(key string, n int) ([]NodeID, bool) {
 // Successors returns up to n distinct physical nodes following key's
 // owner clockwise — the replica targets for hot-object fan-out. It is
 // Owners(key, n+1) minus the owner itself; ok is false on an empty ring.
+//
+//ftc:hotpath
 func (r *Ring) Successors(key string, n int) ([]NodeID, bool) {
 	owners, ok := r.Owners(key, n+1)
 	if !ok || len(owners) == 0 {
@@ -435,10 +440,12 @@ type RecachePlan struct {
 // the same point set minus the failed node's points, and each key is
 // hashed once and resolved against both slices — no ring clone, no
 // per-key locking, no second hash of the key.
+//
+//ftc:hotpath
 func (r *Ring) PlanRecache(failed NodeID, keys []string) RecachePlan {
 	cur := r.snap.Load()
 	if _, ok := cur.member[failed]; !ok {
-		panic(fmt.Sprintf("hashring: PlanRecache for non-member %q", failed))
+		panic(`hashring: PlanRecache for non-member "` + string(failed) + `"`)
 	}
 	after := filterPoints(cur.points, failed)
 	plan := RecachePlan{Failed: failed, Moves: make(map[NodeID][]string)}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/loadctl"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/testutil"
 )
 
 // replRouter is a minimal ring-like Replicator for load-control tests:
@@ -125,6 +126,7 @@ func (tc *loadctlCluster) client(cfg ClientConfig) *Client {
 // should reach the server per wave and everyone else inherits its
 // result.
 func TestLoadctlCoalescedConcurrentMiss(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// ReadDelay keeps the winning flight in-server long enough that the
 	// other readers demonstrably pile onto it.
 	tc := newLoadctlCluster(t, 1, ServerConfig{ReadDelay: 20 * time.Millisecond})
@@ -174,6 +176,7 @@ func TestLoadctlCoalescedConcurrentMiss(t *testing.T) {
 // retrying waiter) re-routes to the surviving node, and every reader
 // still gets the bytes — with no flight record or goroutine left behind.
 func TestLoadctlCoalesceNodeKillMidFlight(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tc := newLoadctlCluster(t, 2, ServerConfig{ReadDelay: 30 * time.Millisecond})
 	tc.pfs.Put("data/victim", []byte("victim-payload"))
 	c := tc.client(ClientConfig{
@@ -233,6 +236,7 @@ func TestLoadctlCoalesceNodeKillMidFlight(t *testing.T) {
 // timeout counter stays at zero even with the most trigger-happy
 // detector setting.
 func TestLoadctlFanoutUnresponsiveOwner(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tc := newLoadctlCluster(t, 3, ServerConfig{})
 	body := []byte("hot-payload")
 	// Warm every node's cache so replicas serve without PFS traffic.
@@ -281,6 +285,7 @@ func TestLoadctlFanoutUnresponsiveOwner(t *testing.T) {
 // explicit redirect (served via PFS), never as failure evidence — the
 // node stays alive and the timeout counter stays at zero.
 func TestLoadctlOverloadShedIsNotFailureEvidence(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tc := newLoadctlCluster(t, 1, ServerConfig{
 		AdmissionLimit: 1,
 		AdmissionQueue: 0,
@@ -339,6 +344,7 @@ func TestLoadctlOverloadShedIsNotFailureEvidence(t *testing.T) {
 // live context returns once pushes drain; an already-cancelled context
 // returns its error instead of blocking.
 func TestLoadctlWaitReplicationContext(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tc := newLoadctlCluster(t, 2, ServerConfig{})
 	tc.pfs.Put("data/r", []byte("r-payload"))
 	router := newReplRouter(tc.nodes)

@@ -42,6 +42,15 @@ var (
 	ErrTooLarge = errors.New("storage: object exceeds device capacity")
 )
 
+// notFoundError carries the missing path without paying a fmt.Errorf
+// allocation storm on every miss — the miss path is as hot as the hit
+// path under a cold cache. errors.Is(err, ErrNotFound) still matches
+// through Unwrap.
+type notFoundError struct{ path string }
+
+func (e *notFoundError) Error() string { return "storage: object not found: " + e.path }
+func (e *notFoundError) Unwrap() error { return ErrNotFound }
+
 // Store is the minimal object interface shared by both tiers.
 type Store interface {
 	// Put stores data under path, replacing any prior object.
@@ -232,14 +241,16 @@ func (n *NVMe) evictSpill(from *nvmeShard, keep *list.Element) {
 }
 
 // Get implements Store and refreshes recency on hit.
+//
+//ftc:hotpath
 func (n *NVMe) Get(path string) ([]byte, error) {
 	sh := n.shardFor(path)
-	sh.mu.Lock()
+	sh.mu.Lock() //ftclint:ignore hotpathlock per-shard LRU lock is the sharded design; contention is 1/N by construction
 	el, ok := sh.items[path]
 	if !ok {
 		sh.mu.Unlock()
 		n.misses.Add(1)
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		return nil, &notFoundError{path}
 	}
 	sh.lru.MoveToFront(el)
 	data := el.Value.(*nvmeEntry).data
@@ -287,6 +298,8 @@ func (n *NVMe) Stats() (int, int64) {
 // StatsAtomic is the lock-free variant of Stats for telemetry scrapes:
 // it sums the per-shard atomic mirrors, so a scrape never contends with
 // the request path. Counts may be mid-update-skewed by in-flight Puts.
+//
+//ftc:hotpath
 func (n *NVMe) StatsAtomic() (objects int64, bytes int64) {
 	for i := range n.shards {
 		objects += n.shards[i].objects.Load()
@@ -296,6 +309,8 @@ func (n *NVMe) StatsAtomic() (objects int64, bytes int64) {
 
 // ShardBytes returns the current per-shard byte occupancy (lock-free) —
 // the balance observable the /debug/ftcache snapshot exposes.
+//
+//ftc:hotpath
 func (n *NVMe) ShardBytes() []int64 {
 	out := make([]int64, len(n.shards))
 	for i := range n.shards {
@@ -390,14 +405,16 @@ func (p *PFS) Put(path string, data []byte) error {
 }
 
 // Get implements Store, counting one metadata op and one read.
+//
+//ftc:hotpath
 func (p *PFS) Get(path string) ([]byte, error) {
 	p.metadataOps.Add(1)
 	sh := p.shardFor(path)
-	sh.mu.RLock()
+	sh.mu.RLock() //ftclint:ignore hotpathlock per-shard read lock is the sharded design; contention is 1/N by construction
 	data, ok := sh.items[path]
 	sh.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+		return nil, &notFoundError{path}
 	}
 	p.reads.Add(1)
 	p.readBytes.Add(int64(len(data)))

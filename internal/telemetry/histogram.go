@@ -83,6 +83,8 @@ func stripeHint() uint64 {
 // Observe records v (nanoseconds): one bucket index computation and
 // three atomic adds into this goroutine's stripe. No-op while telemetry
 // is disabled.
+//
+//ftc:hotpath
 func (h *Histogram) Observe(v int64) {
 	if !enabled.Load() {
 		return
@@ -94,6 +96,8 @@ func (h *Histogram) Observe(v int64) {
 }
 
 // ObserveSince records the elapsed time since start.
+//
+//ftc:hotpath
 func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }

@@ -1,0 +1,147 @@
+// Package testutil holds hand-rolled test infrastructure shared by the
+// integration-style tests: currently the goroutine leak guard. It is
+// deliberately dependency-free (runtime.Stack parsing, no goleak) per
+// the repo's no-external-modules rule.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGraceDefault is how long CheckGoroutines polls for stragglers to
+// exit before declaring a leak. Teardown in the e2e tests is
+// asynchronous (connection readers observe a closed socket, hedged legs
+// observe a cancelled context), so a freshly-stopped cluster legitimately
+// has goroutines mid-exit for a few milliseconds.
+const leakGraceDefault = 2 * time.Second
+
+// goroutineSignature is one normalized stack: the function call chain
+// with goroutine IDs, argument values, pointers, and line offsets
+// stripped, so two goroutines parked in the same place compare equal
+// and a pre-existing goroutine compares equal to itself later even
+// after it moved a line.
+type goroutineSignature string
+
+// stacks captures every goroutine's stack in one runtime.Stack call,
+// growing the buffer until the dump fits.
+func stacks() []byte {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// normalize reduces one goroutine's raw stack block to its signature.
+func normalize(block string) goroutineSignature {
+	lines := strings.Split(block, "\n")
+	var frames []string
+	for _, line := range lines[1:] { // lines[0] is "goroutine N [state]:"
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "created by ") {
+			continue
+		}
+		// Function lines look like "pkg.fn(0xc000..., 0x1)"; file lines
+		// look like "\t/path/file.go:123 +0x45" before TrimSpace. Keep
+		// only function lines, minus the argument list.
+		if strings.HasPrefix(line, "/") || strings.Contains(line, ".go:") {
+			continue
+		}
+		if i := strings.IndexByte(line, '('); i > 0 {
+			line = line[:i]
+		}
+		frames = append(frames, line)
+	}
+	return goroutineSignature(strings.Join(frames, "<-"))
+}
+
+// parseStacks splits a full runtime.Stack dump into per-goroutine
+// signature counts.
+func parseStacks(dump []byte) map[goroutineSignature]int {
+	out := map[goroutineSignature]int{}
+	for _, block := range strings.Split(string(dump), "\n\n") {
+		if !strings.HasPrefix(block, "goroutine ") {
+			continue
+		}
+		out[normalize(block)]++
+	}
+	return out
+}
+
+// interesting reports whether a leaked signature implicates this repo:
+// only goroutines with a repro/ frame somewhere in the chain count.
+// Runtime helpers (GC workers, netpoll) and the testing harness itself
+// come and go on their own schedule and are never our leak.
+func interesting(sig goroutineSignature) bool {
+	s := string(sig)
+	if strings.Contains(s, "repro/internal/testutil.stacks") {
+		// The goroutine taking the snapshot: its own stack contains the
+		// capture chain, which differs between baseline and cleanup.
+		return false
+	}
+	return strings.Contains(s, "repro/")
+}
+
+// CheckGoroutines snapshots the current goroutine population and
+// registers a cleanup that fails t if, after the grace window, any
+// repro/ goroutine exists whose normalized stack was not in the
+// snapshot (or whose count grew). Call it first thing in a test, before
+// starting servers:
+//
+//	func TestSoak(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	CheckGoroutinesWithin(t, leakGraceDefault)
+}
+
+// CheckGoroutinesWithin is CheckGoroutines with an explicit grace
+// window.
+func CheckGoroutinesWithin(t *testing.T, grace time.Duration) {
+	t.Helper()
+	base := parseStacks(stacks())
+	t.Cleanup(func() {
+		var leaked map[goroutineSignature]int
+		deadline := time.Now().Add(grace)
+		for {
+			leaked = leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var sigs []string
+		for sig, n := range leaked {
+			sigs = append(sigs, fmt.Sprintf("  %d × %s", n, sig))
+		}
+		sort.Strings(sigs)
+		t.Errorf("goroutine leak: %d new repro/ goroutine signature(s) still running %v after test end:\n%s",
+			len(sigs), grace, strings.Join(sigs, "\n"))
+	})
+}
+
+// leakedSince diffs the current goroutine population against base,
+// keeping only interesting signatures that appeared or multiplied.
+func leakedSince(base map[goroutineSignature]int) map[goroutineSignature]int {
+	now := parseStacks(stacks())
+	leaked := map[goroutineSignature]int{}
+	for sig, n := range now {
+		if extra := n - base[sig]; extra > 0 && interesting(sig) {
+			leaked[sig] = extra
+		}
+	}
+	return leaked
+}

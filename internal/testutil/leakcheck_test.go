@@ -1,0 +1,79 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+func leakyWorker(stop <-chan struct{}, done chan<- struct{}) {
+	<-stop
+	close(done)
+}
+
+// poll retries fn every millisecond until it returns true or the
+// timeout lapses.
+func poll(timeout time.Duration, fn func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for !fn() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+func TestLeakedSinceDetectsAndClears(t *testing.T) {
+	base := parseStacks(stacks())
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go leakyWorker(stop, done)
+
+	if !poll(2*time.Second, func() bool { return len(leakedSince(base)) > 0 }) {
+		t.Fatal("parked repro/ goroutine never reported as leaked")
+	}
+	for sig := range leakedSince(base) {
+		if !interesting(sig) {
+			t.Errorf("uninteresting signature reported: %s", sig)
+		}
+	}
+
+	close(stop)
+	<-done
+	if !poll(2*time.Second, func() bool { return len(leakedSince(base)) == 0 }) {
+		t.Fatalf("leak report did not clear after the goroutine exited: %v", leakedSince(base))
+	}
+}
+
+func TestNormalizeStripsVolatileParts(t *testing.T) {
+	block := `goroutine 42 [chan receive]:
+repro/internal/testutil.leakyWorker(0xc000076060, 0xc0000760c0)
+	/root/repo/internal/testutil/leakcheck_test.go:9 +0x2c
+created by repro/internal/testutil.TestX in goroutine 1
+	/root/repo/internal/testutil/leakcheck_test.go:30 +0x9e`
+	got := normalize(block)
+	want := goroutineSignature("repro/internal/testutil.leakyWorker")
+	if got != want {
+		t.Errorf("normalize = %q, want %q", got, want)
+	}
+	if !interesting(got) {
+		t.Error("repro/ signature classified uninteresting")
+	}
+	if interesting(normalize(`goroutine 7 [GC worker (idle)]:
+runtime.gcBgMarkWorker(0xc00004e000)
+	/usr/local/go/src/runtime/mgc.go:1423 +0x25`)) {
+		t.Error("runtime-only signature classified interesting")
+	}
+}
+
+func TestCheckGoroutinesCleanTest(t *testing.T) {
+	CheckGoroutines(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go leakyWorker(stop, done)
+	close(stop)
+	<-done
+	// Cleanup runs after the test body: the worker has exited, so the
+	// guard must stay silent.
+}
