@@ -26,6 +26,9 @@ type (
 	Client = hvac.Client
 	// Router is the pluggable fault-tolerance policy.
 	Router = hvac.Router
+	// IngestConfig enables the batched async put pipeline on clients
+	// (ClusterConfig.Ingest / ClientConfig.Ingest).
+	IngestConfig = hvac.IngestConfig
 	// Dataset describes a training-file population.
 	Dataset = workload.Dataset
 	// Ring is the consistent-hash ring with virtual nodes.

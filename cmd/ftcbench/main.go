@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,7 +37,57 @@ func main() {
 	hpAdmission := flag.Int("admission", 0, "hotpath: per-server concurrent-read admission limit (0 = unlimited)")
 	hpServiceDelay := flag.Duration("servicedelay", 0, "hotpath: simulated per-read device service time (0 = off)")
 	chaosSoak := flag.Bool("chaos", false, "run a seeded fault-injection soak against a live in-process cluster")
+	ingestBench := flag.Bool("ingest", false, "drive the write path: sync puts vs the batched async pipeline, JSON to -out")
+	ingBatch := flag.Int("batch", 64, "ingest: max entries per wire batch")
+	ingFlushEvery := flag.Int("flushevery", 4096, "ingest: puts between explicit Flush barriers")
+	ingOut := flag.String("out", filepath.Join("results", "BENCH_ingest.json"), "ingest: JSON result path ('' = stdout only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *ingestBench {
+		// The ingest bench targets the paper-scale write fan-out: 64
+		// simulated nodes unless -nodes was given explicitly.
+		nodes, objBytes := *hpNodes, *hpFileBytes
+		nodesSet, bytesSet := false, false
+		flag.Visit(func(f *flag.Flag) {
+			nodesSet = nodesSet || f.Name == "nodes"
+			bytesSet = bytesSet || f.Name == "filebytes"
+		})
+		if !nodesSet {
+			nodes = 64
+		}
+		if !bytesSet {
+			// Ingest default: the paper's many-small-files training regime.
+			objBytes = 1024
+		}
+		if err := runIngest(ingestConfig{
+			nodes:      nodes,
+			clients:    *hpClients,
+			objBytes:   objBytes,
+			duration:   *hpDuration,
+			seed:       *seed,
+			batch:      *ingBatch,
+			flushEvery: *ingFlushEvery,
+			out:        *ingOut,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosSoak {
 		if err := runChaos(chaosConfig{

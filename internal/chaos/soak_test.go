@@ -58,12 +58,31 @@ func TestChaosSoak(t *testing.T) {
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runSoak(t, seed)
+			runSoak(t, seed, nil)
 		})
 	}
 }
 
-func runSoak(t *testing.T, seed int64) {
+// TestChaosSoakBatchedIngest is the soak with the batched async ingest
+// pipeline on: writers PutAsync/Flush staged objects throughout the
+// fault window (flush failures under faults are tolerated and retried
+// as transients), and after the heal a dedicated epoch asserts the
+// ack-visibility invariant — a Flush that returns success leaves every
+// put object readable from its ring owner's NVMe.
+func TestChaosSoakBatchedIngest(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	seed := int64(4)
+	if s := os.Getenv("FTC_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FTC_CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	runSoak(t, seed, &hvac.IngestConfig{MaxBatchEntries: 16, MaxDelay: 2 * time.Millisecond})
+}
+
+func runSoak(t *testing.T, seed int64, ingest *hvac.IngestConfig) {
 	const (
 		nodes      = 16
 		nClients   = 4
@@ -80,6 +99,7 @@ func runSoak(t *testing.T, seed int64) {
 		TimeoutLimit: 2,
 		Network:      ctl.Network("boot"),
 		Retry:        &rpc.RetryPolicy{},
+		Ingest:       ingest,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,9 +115,10 @@ func runSoak(t *testing.T, seed int64) {
 	paths := ds.AllPaths()
 
 	type soakClient struct {
-		cli  *hvac.Client
-		ring interface{ Len() int }
-		hb   *cluster.Heartbeat
+		cli    *hvac.Client
+		router hvac.Router
+		ring   interface{ Len() int }
+		hb     *cluster.Heartbeat
 	}
 	clients := make([]*soakClient, nClients)
 	for i := range clients {
@@ -105,7 +126,7 @@ func runSoak(t *testing.T, seed int64) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sc := &soakClient{cli: cli, ring: router.(*ftcache.RingRecache).Ring()}
+		sc := &soakClient{cli: cli, router: router, ring: router.(*ftcache.RingRecache).Ring()}
 		sc.hb = cluster.NewHeartbeat(cli.Tracker(), cli, cluster.HeartbeatConfig{
 			Interval:        15 * time.Millisecond,
 			Timeout:         rpcTimeout,
@@ -186,6 +207,54 @@ func runSoak(t *testing.T, seed int64) {
 		}
 	}
 
+	// With ingest on, one writer per client streams batched async puts
+	// through the whole fault window. Flush failures under active faults
+	// are legitimate (the batch was NOT acked — that is the contract);
+	// what the writers assert is liveness: the pipeline keeps accepting
+	// and flushing work while nodes crash and recover, without a panic,
+	// a wedged Flush, or a poisoned ingester.
+	var (
+		ingestPuts    atomic.Int64
+		ingestFlushes atomic.Int64
+		ingestFlushOK atomic.Int64
+	)
+	if ingest != nil {
+		for ci, sc := range clients {
+			readers.Add(1)
+			cli := sc.cli
+			go func(ci int) {
+				defer readers.Done()
+				seq := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for k := 0; k < 16; k++ {
+						path := fmt.Sprintf("soak/ingest/c%d/k%06d", ci, seq)
+						data := []byte(fmt.Sprintf("ingest-%d-%d-%d", seed, ci, seq))
+						if err := cli.PutAsync(path, data); err == nil {
+							ingestPuts.Add(1)
+						} else {
+							transient.Add(1)
+						}
+						seq++
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := cli.Flush(ctx)
+					cancel()
+					ingestFlushes.Add(1)
+					if err == nil {
+						ingestFlushOK.Add(1)
+					} else {
+						transient.Add(1)
+					}
+				}
+			}(ci)
+		}
+	}
+
 	// Run the fault schedule in real time against the live cluster.
 	planCtx, planCancel := context.WithTimeout(context.Background(), plan.Horizon+5*time.Second)
 	plan.Execute(planCtx, ctl, chaos.Actions{
@@ -239,6 +308,60 @@ func runSoak(t *testing.T, seed int64) {
 				t.Fatalf("seed=%d: post-heal verify client=%d file=%d: %v", seed, i, j, err)
 			}
 		}
+	}
+
+	// Ack-visibility epoch (batched ingest only): on the healed cluster,
+	// every client pushes a fresh set of keys through the async pipeline;
+	// once Flush returns success, every one of those keys MUST be readable
+	// from its ring owner's NVMe — that is the batching ack contract.
+	if ingest != nil {
+		if ingestPuts.Load() == 0 {
+			t.Errorf("seed=%d: ingest writers completed zero puts during the fault window", seed)
+		}
+		for ci, sc := range clients {
+			const epochKeys = 50
+			var flushErr error
+			for attempt := 0; attempt < 3; attempt++ {
+				for k := 0; k < epochKeys; k++ {
+					path := fmt.Sprintf("soak/ackvis/c%d/k%03d", ci, k)
+					data := []byte(fmt.Sprintf("ackvis-%d-%d-%d", seed, ci, k))
+					if err := sc.cli.PutAsync(path, data); err != nil {
+						t.Fatalf("seed=%d: post-heal PutAsync client=%d key=%d: %v", seed, ci, k, err)
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				flushErr = sc.cli.Flush(ctx)
+				cancel()
+				if flushErr == nil {
+					break
+				}
+				// A straggler error from the chaos window can surface on the
+				// first post-heal Flush; re-put and flush again — the retry
+				// loop ends on a clean ack or fails the soak.
+			}
+			if flushErr != nil {
+				t.Fatalf("seed=%d: post-heal Flush client=%d never acked: %v", seed, ci, flushErr)
+			}
+			for k := 0; k < epochKeys; k++ {
+				path := fmt.Sprintf("soak/ackvis/c%d/k%03d", ci, k)
+				want := []byte(fmt.Sprintf("ackvis-%d-%d-%d", seed, ci, k))
+				dec := sc.router.Route(path)
+				if dec.Kind != hvac.RouteNode {
+					t.Fatalf("seed=%d: post-heal route for %s: kind=%v", seed, path, dec.Kind)
+				}
+				got, err := cl.Server(core.NodeID(dec.Node)).NVMe().Get(path)
+				if err != nil {
+					t.Errorf("seed=%d: ack-visibility violated: acked key %s not on owner %s: %v",
+						seed, path, dec.Node, err)
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("seed=%d: acked key %s corrupt on owner %s", seed, path, dec.Node)
+				}
+			}
+		}
+		t.Logf("seed=%d: ingest puts=%d flushes=%d acked=%d",
+			seed, ingestPuts.Load(), ingestFlushes.Load(), ingestFlushOK.Load())
 	}
 
 	faults := ctl.FaultCounts()

@@ -74,6 +74,9 @@ type ClusterConfig struct {
 	// Retry, when non-nil, gives every client the bounded-backoff retry
 	// policy for connection-class RPC failures (see rpc.RetryPolicy).
 	Retry *rpc.RetryPolicy
+	// Ingest, when non-nil, enables the batched async ingest pipeline on
+	// every client this cluster hands out (see hvac.IngestConfig).
+	Ingest *hvac.IngestConfig
 }
 
 // Cluster is a running FT-Cache deployment.
@@ -167,6 +170,7 @@ func (c *Cluster) NewClientNet(network rpc.Network) (*hvac.Client, hvac.Router, 
 		ReplicationFactor: c.cfg.Replication,
 		LoadControl:       c.cfg.LoadControl,
 		Retry:             c.cfg.Retry,
+		Ingest:            c.cfg.Ingest,
 	})
 	if err != nil {
 		return nil, nil, err

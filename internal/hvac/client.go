@@ -109,6 +109,11 @@ type ClientConfig struct {
 	// nil leaves the client's behavior exactly as before. Replica fan-out
 	// additionally requires the Router to implement Replicator.
 	LoadControl *loadctl.Config
+	// Ingest, when non-nil, enables the batched async ingest pipeline:
+	// PutAsync buffers puts per destination node and ships them as
+	// OpPutBatch frames, and replica pushes ride the same batches. nil
+	// keeps every put (and replica push) a standalone synchronous OpPut.
+	Ingest *IngestConfig
 	// Retry, when non-nil, absorbs connection-class RPC failures (reset,
 	// refused, listener gone) with bounded jittered backoff before they
 	// become failure evidence. Timeout-class failures are never retried:
@@ -170,6 +175,9 @@ type Client struct {
 	hotPushes      atomic.Int64
 	shedRedirects  atomic.Int64
 
+	// ingest is the optional batched async put pipeline (nil = off).
+	ingest *ingester
+
 	// replSem bounds concurrent async replica pushes.
 	replSem chan struct{}
 	replWG  sync.WaitGroup
@@ -227,6 +235,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		c.tracker.OnFailure(func(cluster.NodeID) { c.load.InvalidateReplicas() })
 		c.tracker.OnRecovery(func(cluster.NodeID) { c.load.InvalidateReplicas() })
 		telemetry.Default().RegisterDebug("loadctl", func() any { return c.load.DebugSnapshot() })
+	}
+	if cfg.Ingest != nil {
+		c.ingest = newIngester(c, *cfg.Ingest)
 	}
 	return c, nil
 }
@@ -824,6 +835,21 @@ func (c *Client) maybePushHot(path string, data []byte) {
 		return
 	}
 	telemetry.TraceEvent(telemetry.EventHotKey, "", path, int64(len(data)))
+	if c.ingest != nil {
+		// Group commit: hot-object pushes ride the per-node ingest
+		// batches instead of spawning a goroutine per push. The encode
+		// copies the bytes, so no extra defensive copy is needed.
+		for _, node := range owners[1:] {
+			if !c.tracker.IsAlive(node) {
+				continue
+			}
+			if c.ingest.enqueue(node, path, data) == nil {
+				c.hotPushes.Add(1)
+				cliMetrics().hotPush.Inc()
+			}
+		}
+		return
+	}
 	// Copy once: data may alias an RPC response buffer.
 	body := append([]byte(nil), data...)
 	for _, node := range owners[1:] {
@@ -854,6 +880,18 @@ func (c *Client) replicateAsync(path string, data []byte) {
 	}
 	owners := repl.Replicas(path, c.cfg.ReplicationFactor)
 	if len(owners) <= 1 {
+		return
+	}
+	if c.ingest != nil {
+		// Group commit: replica pushes ride the per-node ingest batches
+		// (WaitReplication flushes them). Enqueue encodes immediately,
+		// so the aliased RPC buffer is never retained.
+		for _, node := range owners[1:] {
+			if c.ingest.enqueue(node, path, data) == nil {
+				c.replicaPushes.Add(1)
+				cliMetrics().replicaPush.Inc()
+			}
+		}
 		return
 	}
 	// Copy once: data aliases the RPC response buffer.
@@ -897,10 +935,19 @@ func (c *Client) Push(ctx context.Context, node cluster.NodeID, path string, dat
 
 // WaitReplication blocks until all in-flight replica pushes finish or
 // ctx expires — used by tests and epoch boundaries that need
-// determinism. The pushes themselves keep running after a ctx-triggered
-// return (they are bounded by the replication semaphore and fail fast
-// once connections drop); only the wait is abandoned.
+// determinism. With the ingest pipeline enabled it is also a batch
+// flush barrier: replica pushes ride ingest batches, so buffered
+// batches are sealed and their acks awaited before the wait returns
+// (delivery failures stay best-effort, exactly like goroutine pushes —
+// use Flush to observe them). The pushes themselves keep running after
+// a ctx-triggered return (they are bounded by the replication semaphore
+// and fail fast once connections drop); only the wait is abandoned.
 func (c *Client) WaitReplication(ctx context.Context) error {
+	if c.ingest != nil {
+		if err := c.ingest.barrier(ctx); err != nil {
+			return err
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		c.replWG.Wait()
@@ -988,7 +1035,8 @@ func (c *Client) Ping(ctx context.Context, node cluster.NodeID) error {
 }
 
 // Close tears down all connections, then waits for in-flight replica
-// pushes (which fail fast once their connections drop).
+// pushes and ingest senders (both fail fast once their connections
+// drop).
 func (c *Client) Close() {
 	c.closed.Store(true)
 	c.mu.Lock()
@@ -1003,6 +1051,9 @@ func (c *Client) Close() {
 		if cli != nil {
 			cli.Close()
 		}
+	}
+	if c.ingest != nil {
+		c.ingest.close()
 	}
 	c.replWG.Wait()
 }

@@ -1,0 +1,125 @@
+//go:build benchguard
+
+package hvac
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// benchIngestPuts drives b.N one-KiB puts from one client into a fresh
+// 8-node in-process cluster — synchronously (one RPC per put) or through
+// the batched async pipeline (PutAsync with periodic Flush barriers, the
+// trailing barrier inside the timed region so acks are paid for).
+func benchIngestPuts(b *testing.B, batched bool) {
+	network := rpc.NewInprocNetwork()
+	pfs := storage.NewPFS()
+	var nodes []cluster.NodeID
+	var servers []*Server
+	for i := 0; i < 8; i++ {
+		node := cluster.NodeID(fmt.Sprintf("node-%02d", i))
+		nodes = append(nodes, node)
+		srv := NewServer(ServerConfig{Node: node, NVMeCapacity: 8 << 20}, pfs)
+		lis, err := network.Listen(string(node))
+		if err != nil {
+			b.Fatalf("listen %s: %v", node, err)
+		}
+		go srv.Serve(lis)
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	eps := make(map[cluster.NodeID]string, len(nodes))
+	for _, n := range nodes {
+		eps[n] = string(n)
+	}
+	var ing *IngestConfig
+	if batched {
+		ing = &IngestConfig{}
+	}
+	c, err := NewClient(ClientConfig{
+		Endpoints:    eps,
+		Network:      network,
+		Router:       hashRouter{nodes: nodes},
+		PFS:          pfs,
+		RPCTimeout:   10 * time.Second,
+		TimeoutLimit: 2,
+		Ingest:       ing,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	data := make([]byte, 1024)
+	ctx := context.Background()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("guard/%t/k%09d", batched, i)
+		if !batched {
+			if err := c.Put(ctx, path, data); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err := c.PutAsync(path, data); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			if err := c.Flush(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if batched {
+		if err := c.Flush(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// TestIngestBatchingSpeedupGuard fails when the batched async pipeline
+// stops being meaningfully faster than synchronous per-object puts on
+// the write path. The recorded headline (results/BENCH_ingest.json) is
+// ~3x at 64 nodes; the guard threshold is a loose 1.3x at benchmark
+// scale because single-shot in-process runs on shared CI machines
+// jitter — its job is to catch the pipeline silently degrading to
+// one-RPC-per-put (or worse), not to benchstat a small drift.
+//
+//	go test -tags benchguard -run TestIngestBatchingSpeedupGuard ./internal/hvac/
+func TestIngestBatchingSpeedupGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	// Interleave A/B/A/B and keep the best of each: minimums are far more
+	// robust to scheduler noise than means on a shared runner.
+	best := func(batched bool) float64 {
+		min := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) { benchIngestPuts(b, batched) })
+			ns := float64(r.NsPerOp())
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+	batched := best(true)
+	sync := best(false)
+	speedup := sync / batched
+	t.Logf("ingest: batched %.0f ns/op, sync %.0f ns/op, speedup %.2fx", batched, sync, speedup)
+	if speedup < 1.3 {
+		t.Errorf("batched ingest speedup %.2fx below 1.3x guard threshold (headline is ~3x at 64 nodes)", speedup)
+	}
+}

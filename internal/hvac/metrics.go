@@ -30,6 +30,15 @@ type clientMetrics struct {
 	rejoinWarmBytes *telemetry.Counter // bytes warmed onto rejoining nodes
 
 	// Load-control series (all zero unless ClientConfig.LoadControl set).
+	// Ingest series (zero unless ClientConfig.Ingest is set).
+	ingestEntries      *telemetry.Counter   // objects accepted by PutAsync / riding batches
+	ingestBatches      *telemetry.Counter   // batches sealed
+	ingestBatchEntries *telemetry.Histogram // batch size (entries) at seal
+	ingestFlushSize    *telemetry.Counter   // batches sealed by the size/bytes bound
+	ingestFlushAge     *telemetry.Counter   // batches sealed by the age timer
+	ingestFlushSync    *telemetry.Counter   // batches sealed by an explicit barrier
+	ingestErrors       *telemetry.Counter   // objects whose batched delivery failed
+
 	coalesced     *telemetry.Counter   // reads served by joining another caller's flight
 	hedges        *telemetry.Counter   // hedge legs launched
 	hedgeWins     *telemetry.Counter   // reads won by the hedged leg
@@ -65,6 +74,14 @@ func cliMetrics() *clientMetrics {
 			rejoinWarmFiles: reg.Counter("ftc_client_rejoin_warm_files_total"),
 			rejoinWarmBytes: reg.Counter("ftc_client_rejoin_warm_bytes_total"),
 
+			ingestEntries:      reg.Counter("ftc_client_ingest_entries_total"),
+			ingestBatches:      reg.Counter("ftc_client_ingest_batches_total"),
+			ingestBatchEntries: reg.Histogram("ftc_client_ingest_batch_entries"),
+			ingestFlushSize:    reg.Counter("ftc_client_ingest_flush_size_total"),
+			ingestFlushAge:     reg.Counter("ftc_client_ingest_flush_age_total"),
+			ingestFlushSync:    reg.Counter("ftc_client_ingest_flush_sync_total"),
+			ingestErrors:       reg.Counter("ftc_client_ingest_errors_total"),
+
 			coalesced:     reg.Counter("ftc_client_coalesced_reads_total"),
 			hedges:        reg.Counter("ftc_client_hedged_reads_total"),
 			hedgeWins:     reg.Counter("ftc_client_hedge_wins_total"),
@@ -75,6 +92,17 @@ func cliMetrics() *clientMetrics {
 			hedgeLatency:  reg.Histogram("ftc_client_read_hedged_latency_seconds"),
 		}
 		m := cliMetricsInst
+		reg.RegisterDebug("ingest", func() any {
+			return map[string]any{
+				"entries":     m.ingestEntries.Load(),
+				"batches":     m.ingestBatches.Load(),
+				"flush_size":  m.ingestFlushSize.Load(),
+				"flush_age":   m.ingestFlushAge.Load(),
+				"flush_sync":  m.ingestFlushSync.Load(),
+				"errors":      m.ingestErrors.Load(),
+				"batch_sizes": m.ingestBatchEntries.Snapshot(),
+			}
+		})
 		reg.RegisterDebug("rejoin", func() any {
 			return map[string]any{
 				"retry_attempts":    m.retries.Load(),
@@ -102,6 +130,9 @@ func (s *Server) registerTelemetry() {
 
 	reg.CounterFunc("ftc_server_reads_total", s.reads.Load, "node", node)
 	reg.CounterFunc("ftc_server_pfs_fallbacks_total", s.pfsFallbacks.Load, "node", node)
+	reg.CounterFunc("ftc_server_batch_puts_total", s.batchPuts.Load, "node", node)
+	reg.CounterFunc("ftc_server_batch_put_entries_total", s.batchEntries.Load, "node", node)
+	reg.CounterFunc("ftc_server_batch_sheds_total", s.batchSheds.Load, "node", node)
 	if s.limiter != nil {
 		reg.CounterFunc("ftc_server_sheds_total", s.limiter.Sheds, "node", node)
 		reg.GaugeFunc("ftc_server_admission_inflight", s.limiter.Inflight, "node", node)
@@ -146,6 +177,9 @@ func (s *Server) debugSnapshot() any {
 		"fill_errors":     fillErrs,
 		"last_fill_error": lastErr,
 		"queue_depth":     s.mover.QueueDepth(),
+		"batch_puts":      s.batchPuts.Load(),
+		"batch_entries":   s.batchEntries.Load(),
+		"batch_sheds":     s.batchSheds.Load(),
 		"unresponsive":    s.Unresponsive(),
 	}
 	if s.limiter != nil {

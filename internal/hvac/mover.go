@@ -94,6 +94,25 @@ func (m *Mover) FillSync(path string, data []byte) error {
 	return m.fill(path, data, false)
 }
 
+// FillBatchSync stores a whole ingest batch in one sharded NVMe pass
+// (storage.NVMe.PutBatch: one lock round-trip per destination shard
+// instead of per object), with the same per-fill accounting and tracing
+// as FillSync. Returns one error slot per entry.
+func (m *Mover) FillBatchSync(entries []storage.BatchEntry) []error {
+	errs := m.nvme.PutBatch(entries)
+	for i := range entries {
+		if errs[i] != nil {
+			m.fillErrs.Add(1)
+			m.errMu.Lock()
+			m.lastErr = entries[i].Path + ": " + errs[i].Error()
+			m.errMu.Unlock()
+			continue
+		}
+		telemetry.TraceEvent(telemetry.EventRecacheFileDone, m.node, entries[i].Path, int64(len(entries[i].Data)))
+	}
+	return errs
+}
+
 func (m *Mover) run() {
 	defer m.wg.Done()
 	for job := range m.ch {

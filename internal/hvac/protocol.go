@@ -34,6 +34,11 @@ const (
 	// OpPut pushes an object into the server's NVMe cache — the replica
 	// write used by the replication extension (see ftcache.RingReplicated).
 	OpPut
+	// OpPutBatch pushes many objects in one frame: the batched async
+	// ingest pipeline's wire op. The payload is a length-prefixed entry
+	// list; the response carries one status per entry, so a single bad
+	// object never fails its batch-mates.
+	OpPutBatch
 )
 
 // Application statuses (beyond rpc.StatusOK).
@@ -172,6 +177,114 @@ func (r *PutReq) Unmarshal(b []byte) error {
 	r.Path = d.String()
 	r.Data = d.Bytes32()
 	if d.Err() != nil {
+		return ErrDecode
+	}
+	return nil
+}
+
+// PutEntry is one object of a batched put.
+type PutEntry struct {
+	Path string
+	Data []byte
+}
+
+// minPutEntryWire is the smallest possible encoded PutEntry (two empty
+// length-prefixed fields) — the bound the decoder uses to reject a
+// count field larger than the payload could possibly hold before
+// allocating anything.
+const minPutEntryWire = 8
+
+// PutBatchReq pushes a batch of objects into a server's cache in one
+// frame. Encoding: u32 entry count, then per entry a length-prefixed
+// path and length-prefixed data. A zero-entry batch is valid (an
+// explicit flush of an empty buffer acknowledges as an empty response).
+type PutBatchReq struct {
+	Entries []PutEntry
+}
+
+// Marshal encodes the request.
+func (r *PutBatchReq) Marshal() []byte {
+	size := 4
+	for i := range r.Entries {
+		size += minPutEntryWire + len(r.Entries[i].Path) + len(r.Entries[i].Data)
+	}
+	e := wire.NewBuffer(size)
+	AppendPutBatch(e, r.Entries)
+	return e.Bytes()
+}
+
+// AppendPutBatch encodes entries onto e in PutBatchReq wire form — the
+// append-style primitive the ingest worker uses to build a batch
+// payload incrementally (the count is known only at flush time, so the
+// worker encodes entries with EncodePutEntry and prepends the count
+// itself; this helper is the one-shot form).
+func AppendPutBatch(e *wire.Buffer, entries []PutEntry) {
+	e.U32(uint32(len(entries)))
+	for i := range entries {
+		EncodePutEntry(e, entries[i].Path, entries[i].Data)
+	}
+}
+
+// EncodePutEntry appends one batch entry (path + data) onto e.
+func EncodePutEntry(e *wire.Buffer, path string, data []byte) {
+	e.String(path)
+	e.Bytes32(data)
+}
+
+// Unmarshal decodes the request. Entry data aliases b.
+func (r *PutBatchReq) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	n := d.U32()
+	if d.Err() != nil || int64(n)*minPutEntryWire > int64(d.Remaining()) {
+		return ErrDecode
+	}
+	r.Entries = make([]PutEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		p := d.String()
+		data := d.Bytes32()
+		if d.Err() != nil {
+			return ErrDecode
+		}
+		r.Entries = append(r.Entries, PutEntry{Path: p, Data: data})
+	}
+	if d.Remaining() != 0 {
+		// Trailing bytes mean a corrupt count; reject rather than
+		// silently dropping caller data.
+		return ErrDecode
+	}
+	return nil
+}
+
+// PutBatchResp acknowledges a batch with one status per entry, indexed
+// like the request. rpc.StatusOK means the object is readable from this
+// server's cache tier the moment the response is on the wire — the
+// ack-visibility guarantee Flush builds on.
+type PutBatchResp struct {
+	Statuses []uint16
+}
+
+// Marshal encodes the response.
+func (r *PutBatchResp) Marshal() []byte {
+	e := wire.NewBuffer(4 + 2*len(r.Statuses))
+	e.U32(uint32(len(r.Statuses)))
+	for _, s := range r.Statuses {
+		e.U16(s)
+	}
+	return e.Bytes()
+}
+
+// Unmarshal decodes the response.
+func (r *PutBatchResp) Unmarshal(b []byte) error {
+	d := wire.NewReader(b)
+	n := d.U32()
+	if d.Err() != nil || int64(n)*2 > int64(d.Remaining()) {
+		return ErrDecode
+	}
+	r.Statuses = make([]uint16, n)
+	for i := range r.Statuses {
+		r.Statuses[i] = d.U16()
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
 		return ErrDecode
 	}
 	return nil

@@ -84,6 +84,84 @@ func (l *Limiter) Acquire() bool {
 // Release returns a service slot claimed by a successful Acquire.
 func (l *Limiter) Release() { <-l.tokens }
 
+// AcquireN claims cost service slots for one batched request, so
+// admission sees ingest cost in objects, not in frames — a 100-entry
+// batch competes for capacity like 100 requests, not like one. cost is
+// capped at the limiter's width (a batch larger than the whole limit
+// must still be admissible). Slots free right now are taken greedily;
+// the remainder is waited for up to maxWait in one queue slot. On
+// timeout every held slot is returned and the whole batch is shed —
+// holding a partial claim forever could deadlock two interleaved
+// batches, while timed release merely sheds both under real overload.
+// Every true return must be paired with ReleaseN(cost) for the same
+// cost.
+func (l *Limiter) AcquireN(cost int) bool {
+	if cost <= 1 {
+		return l.Acquire()
+	}
+	if cap := cap(l.tokens); cost > cap {
+		cost = cap
+	}
+	held := 0
+	for ; held < cost; held++ {
+		select {
+		case l.tokens <- struct{}{}:
+		default:
+			goto wait
+		}
+	}
+	l.admitted.Add(1)
+	return true
+
+wait:
+	select {
+	case l.waiters <- struct{}{}:
+	default:
+		l.releaseHeld(held)
+		l.shed.Add(1)
+		return false
+	}
+	l.queued.Add(1)
+	{
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		for held < cost {
+			select {
+			case l.tokens <- struct{}{}:
+				held++
+			case <-t.C:
+				<-l.waiters
+				l.releaseHeld(held)
+				l.shed.Add(1)
+				return false
+			}
+		}
+	}
+	<-l.waiters
+	l.admitted.Add(1)
+	return true
+}
+
+// ReleaseN returns the slots claimed by a successful AcquireN. cost
+// must match the AcquireN argument (after its internal cap, applied
+// here identically).
+func (l *Limiter) ReleaseN(cost int) {
+	if cost <= 1 {
+		l.Release()
+		return
+	}
+	if cap := cap(l.tokens); cost > cap {
+		cost = cap
+	}
+	l.releaseHeld(cost)
+}
+
+func (l *Limiter) releaseHeld(n int) {
+	for i := 0; i < n; i++ {
+		<-l.tokens
+	}
+}
+
 // Inflight returns the number of currently held service slots.
 func (l *Limiter) Inflight() int64 { return int64(len(l.tokens)) }
 

@@ -121,6 +121,13 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
+// MaxConnConcurrency bounds the per-connection handler fan-out: at most
+// this many request goroutines run per conn; past the bound the read
+// loop itself blocks, so a write burst turns into TCP backpressure the
+// sender feels instead of an unbounded goroutine pile the admission
+// controller never saw.
+const MaxConnConcurrency = 256
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -129,7 +136,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
+	m := metrics()
+	// Responses from concurrent handlers group-commit: whoever finishes
+	// while another response is mid-write parks its frame in the shared
+	// buffer, and one Write flushes them all (see wire.CoalescedWriter).
+	cw := wire.NewCoalescedWriter(conn, serverFlushObserver(m))
+	sem := make(chan struct{}, MaxConnConcurrency)
 	for {
 		// The request body is leased from the wire buffer pool, so the
 		// steady-state receive path allocates nothing per frame. The lease
@@ -146,7 +158,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		req := f
+		sem <- struct{}{}
 		go func() {
+			defer func() { <-sem }()
 			defer lease.Release()
 			status, resp := s.safeHandle(req.Op, req.Payload)
 			if s.unresponsive.Load() {
@@ -159,9 +173,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				Status:  status,
 				Payload: resp,
 			}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = wire.WriteFrame(conn, &out) // conn failure surfaces on next read
+			if werr := cw.WriteFrame(&out); werr != nil {
+				// The conn failure also surfaces on the next read; the
+				// counter records that a computed response was dropped —
+				// historically this was a silent `_ =`.
+				m.respDropped.Inc()
+			}
 		}()
 	}
 }
@@ -224,13 +241,12 @@ func acquireCall() *pendingCall {
 }
 
 // Client is a multiplexing RPC client over a single connection. Calls
-// may be issued concurrently from any goroutine.
+// may be issued concurrently from any goroutine; requests issued while
+// another caller's frame is on the wire coalesce into a single write.
 type Client struct {
 	conn   net.Conn
+	cw     *wire.CoalescedWriter
 	nextID atomic.Uint64
-
-	writeMu     sync.Mutex
-	deadlineSet bool // guarded by writeMu: last write armed a deadline
 
 	mu      sync.Mutex
 	pending map[uint64]*pendingCall
@@ -242,6 +258,7 @@ type Client struct {
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
+		cw:      wire.NewCoalescedWriter(conn, clientFlushObserver(metrics())),
 		pending: make(map[uint64]*pendingCall),
 		done:    make(chan struct{}),
 	}
@@ -319,19 +336,16 @@ func (c *Client) call(ctx context.Context, op uint16, payload []byte) (resp []by
 	c.mu.Unlock()
 
 	f := wire.Frame{Type: wire.TypeRequest, ID: id, Op: op, Payload: payload}
-	c.writeMu.Lock()
-	// Only touch the conn deadline when this call needs one or the
-	// previous call left one armed: SetWriteDeadline is a timer dance on
-	// every conn type, and the steady-state hot path has no deadline.
-	if dl, ok := ctx.Deadline(); ok {
-		_ = c.conn.SetWriteDeadline(dl)
-		c.deadlineSet = true
-	} else if c.deadlineSet {
-		_ = c.conn.SetWriteDeadline(time.Time{})
-		c.deadlineSet = false
+	// The coalescing writer batches this frame with any concurrent
+	// callers' frames into one Write, arming the conn write deadline to
+	// the earliest deadline in the batch (and only touching it when some
+	// frame has one — SetWriteDeadline is a timer dance on every conn
+	// type, and the steady-state hot path has no deadline).
+	var dl time.Time
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
 	}
-	werr := wire.WriteFrame(c.conn, &f)
-	c.writeMu.Unlock()
+	werr := c.cw.WriteFrameDeadline(&f, dl)
 	if werr != nil {
 		c.mu.Lock()
 		delete(c.pending, id)

@@ -157,21 +157,7 @@ func (n *NVMe) Put(path string, data []byte) error {
 	}
 	sh := n.shardFor(path)
 	sh.mu.Lock()
-	var kept *list.Element
-	if el, ok := sh.items[path]; ok {
-		old := el.Value.(*nvmeEntry)
-		n.used.Add(size - int64(len(old.data)))
-		sh.bytes.Add(size - int64(len(old.data)))
-		old.data = data
-		sh.lru.MoveToFront(el)
-		kept = el
-	} else {
-		kept = sh.lru.PushFront(&nvmeEntry{path: path, data: data})
-		sh.items[path] = kept
-		n.used.Add(size)
-		sh.bytes.Add(size)
-		sh.objects.Add(1)
-	}
+	kept := n.insertLocked(sh, path, data)
 	if n.capacity > 0 {
 		n.evictShardLocked(sh, kept)
 	}
@@ -180,6 +166,137 @@ func (n *NVMe) Put(path string, data []byte) error {
 		n.evictSpill(sh, kept)
 	}
 	return nil
+}
+
+// insertLocked stores or replaces path in sh (whose lock the caller
+// holds), maintaining the byte/object accounting, and returns the
+// entry's LRU element.
+func (n *NVMe) insertLocked(sh *nvmeShard, path string, data []byte) *list.Element {
+	size := int64(len(data))
+	if el, ok := sh.items[path]; ok {
+		old := el.Value.(*nvmeEntry)
+		n.used.Add(size - int64(len(old.data)))
+		sh.bytes.Add(size - int64(len(old.data)))
+		old.data = data
+		sh.lru.MoveToFront(el)
+		return el
+	}
+	el := sh.lru.PushFront(&nvmeEntry{path: path, data: data})
+	sh.items[path] = el
+	n.used.Add(size)
+	sh.bytes.Add(size)
+	sh.objects.Add(1)
+	return el
+}
+
+// BatchEntry is one object of a PutBatch.
+type BatchEntry struct {
+	Path string
+	Data []byte
+}
+
+// PutBatch stores a batch of objects, taking each destination shard's
+// lock exactly once for all of that shard's entries — the server-side
+// half of the batched ingest pipeline, where one decoded wire batch
+// becomes one sharded insert pass instead of len(entries) lock
+// round-trips. Returns one error slot per entry (nil on success); the
+// only per-entry failure is ErrTooLarge.
+//
+// Eviction protects every member of the batch, not just the newest
+// insert: evicting an object the same call just accepted would turn the
+// batch ack into a lie, so pressure spills to older objects across all
+// shards first. Only a pathological batch that cannot fit even in an
+// otherwise-empty cache falls back to sequential-put semantics (newest
+// insert protected, earlier batch-mates evictable). Occupancy may
+// transiently overshoot capacity by at most the batch's byte size
+// (bounded by the ingest batch limit) while the pass runs.
+func (n *NVMe) PutBatch(entries []BatchEntry) []error {
+	errs := make([]error, len(entries))
+	if len(entries) == 0 {
+		return errs
+	}
+	// Group entry indices by shard. The common batch is small (tens of
+	// entries), so a per-shard slice map beats sorting.
+	byShard := make(map[*nvmeShard][]int, 4)
+	for i := range entries {
+		size := int64(len(entries[i].Data))
+		if n.capacity > 0 && size > n.capacity {
+			errs[i] = fmt.Errorf("%w: %d > %d", ErrTooLarge, size, n.capacity)
+			continue
+		}
+		sh := n.shardFor(entries[i].Path)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	protected := make(map[*nvmeShard]map[*list.Element]struct{}, len(byShard))
+	var lastShard *nvmeShard
+	var lastKept *list.Element
+	for sh, idxs := range byShard {
+		sh.mu.Lock()
+		prot := make(map[*list.Element]struct{}, len(idxs))
+		for _, i := range idxs {
+			lastKept = n.insertLocked(sh, entries[i].Path, entries[i].Data)
+			prot[lastKept] = struct{}{}
+		}
+		if n.capacity > 0 {
+			n.evictShardLockedProtected(sh, prot)
+		}
+		sh.mu.Unlock()
+		protected[sh] = prot
+		lastShard = sh
+	}
+	if lastShard == nil || n.capacity <= 0 {
+		return errs
+	}
+	// Spill pass: the batch's shards ran out of unprotected objects, so
+	// walk every shard (batch members still protected) to meet the
+	// budget.
+	for i := range n.shards {
+		if n.used.Load() <= n.capacity {
+			return errs
+		}
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		evicted := n.evictShardLockedProtected(sh, protected[sh])
+		sh.mu.Unlock()
+		if protected[sh] == nil {
+			n.spills.Add(int64(evicted))
+		}
+	}
+	if n.used.Load() > n.capacity {
+		// The batch alone exceeds the cache: nothing unprotected is
+		// left, so degrade to sequential-put semantics — only the very
+		// newest insert is sacred.
+		n.evictSpill(lastShard, lastKept)
+	}
+	return errs
+}
+
+// evictShardLockedProtected evicts LRU-order objects from sh (whose
+// lock the caller holds) until the global budget is met, skipping any
+// element in protected (nil = none). Returns the number evicted.
+func (n *NVMe) evictShardLockedProtected(sh *nvmeShard, protected map[*list.Element]struct{}) int {
+	evicted := 0
+	for n.used.Load() > n.capacity {
+		tail := sh.lru.Back()
+		for tail != nil {
+			if _, ok := protected[tail]; !ok {
+				break
+			}
+			tail = tail.Prev()
+		}
+		if tail == nil {
+			return evicted
+		}
+		ent := tail.Value.(*nvmeEntry)
+		sh.lru.Remove(tail)
+		delete(sh.items, ent.path)
+		n.used.Add(-int64(len(ent.data)))
+		sh.bytes.Add(-int64(len(ent.data)))
+		sh.objects.Add(-1)
+		n.evictions.Add(1)
+		evicted++
+	}
+	return evicted
 }
 
 // evictShardLocked evicts LRU-order objects from sh (whose lock the

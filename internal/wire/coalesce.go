@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrWriterBroken reports that a previous flush left the stream in an
+// undefined state (a partial frame reached the peer), so no further
+// frames may be written on this connection.
+var ErrWriterBroken = errors.New("wire: writer broken by partial flush")
+
+// FlushObserver receives one callback per flush with the number of
+// frames and bytes the single Write carried. Implementations must be
+// goroutine-safe and cheap (the callback runs on the flush path).
+type FlushObserver func(frames int, bytes int)
+
+// deadlineWriter is the optional conn capability the coalescing writer
+// uses to honor per-frame write deadlines (every net.Conn has it).
+type deadlineWriter interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// flushGen is one flush generation: the set of frames encoded into a
+// shared buffer that will leave in a single Write. Every enqueuer of the
+// generation waits on done and reads err afterwards.
+type flushGen struct {
+	done   chan struct{}
+	err    error
+	frames int
+}
+
+// CoalescedWriter turns per-frame writes from many goroutines into
+// group-committed flushes: each caller encodes its frame into a shared
+// pending buffer, and the first caller to arrive while no flush is in
+// progress becomes the flusher — it swaps the buffer out and issues one
+// Write for every frame that accumulated, including frames enqueued by
+// callers that arrived while a previous flush was on the wire. Under
+// concurrency the syscall count amortizes across the batch (writev-style
+// without the iovec plumbing); a lone caller degenerates to exactly the
+// old one-Write-per-frame behavior with one extra mutex pair.
+//
+// WriteFrame returns only after the frame's bytes have been handed to
+// the underlying Write, preserving the send-before-wait ordering the
+// RPC layers rely on.
+type CoalescedWriter struct {
+	w  io.Writer
+	dw deadlineWriter // nil when w cannot set write deadlines
+	ob FlushObserver  // nil = no instrumentation
+
+	mu       sync.Mutex
+	pend     *Buf      // frames encoded and not yet flushed (nil = none)
+	gen      *flushGen // waiters for the frames in pend
+	earliest time.Time // earliest nonzero deadline among pending frames
+	flushing bool      // a flusher is active (owns the fields below)
+	broken   bool      // a partial flush corrupted the stream
+
+	// armed is owned by whichever caller holds flushing — only one
+	// flusher exists at a time, so no lock is needed around it.
+	armed bool // the conn currently has a write deadline set
+}
+
+// NewCoalescedWriter wraps w. The observer may be nil.
+func NewCoalescedWriter(w io.Writer, ob FlushObserver) *CoalescedWriter {
+	cw := &CoalescedWriter{w: w, ob: ob}
+	if dw, ok := w.(deadlineWriter); ok {
+		cw.dw = dw
+	}
+	return cw
+}
+
+// WriteFrame encodes f and returns once a flush carrying it completed.
+func (cw *CoalescedWriter) WriteFrame(f *Frame) error {
+	return cw.WriteFrameDeadline(f, time.Time{})
+}
+
+// WriteFrameDeadline is WriteFrame with a write deadline: the flush
+// carrying this frame runs under the earliest deadline of its batch
+// (zero means none). A deadline expiry fails every frame in the batch —
+// each caller sees the timeout and classifies it independently, exactly
+// as if its own solo write had timed out.
+func (cw *CoalescedWriter) WriteFrameDeadline(f *Frame, dl time.Time) error {
+	cw.mu.Lock()
+	if cw.broken {
+		cw.mu.Unlock()
+		return ErrWriterBroken
+	}
+	if cw.pend == nil {
+		cw.pend = acquireBuf(0)
+		cw.gen = &flushGen{done: make(chan struct{})}
+	}
+	cw.pend.b = AppendFrame(cw.pend.b, f)
+	cw.gen.frames++
+	if !dl.IsZero() && (cw.earliest.IsZero() || dl.Before(cw.earliest)) {
+		cw.earliest = dl
+	}
+	gen := cw.gen
+	if cw.flushing {
+		// A flusher is on the wire; it will pick this generation up in
+		// its drain loop (or a later caller will become the flusher).
+		cw.mu.Unlock()
+		<-gen.done
+		return gen.err
+	}
+	cw.flushing = true
+	for cw.pend != nil {
+		buf, g, dl := cw.pend, cw.gen, cw.earliest
+		cw.pend, cw.gen, cw.earliest = nil, nil, time.Time{}
+		cw.mu.Unlock()
+
+		g.err = cw.flush(buf.b, dl, g.frames)
+		buf.Release()
+		close(g.done)
+
+		cw.mu.Lock()
+		if g.err != nil && cw.brokenByFlush(g.err) {
+			cw.broken = true
+			// Fail everything that queued behind the corrupting flush:
+			// its bytes must never reach the wire.
+			if cw.pend != nil {
+				cw.pend.Release()
+				cw.pend = nil
+				cw.gen.err = ErrWriterBroken
+				close(cw.gen.done)
+				cw.gen = nil
+				cw.earliest = time.Time{}
+			}
+		}
+	}
+	cw.flushing = false
+	cw.mu.Unlock()
+	return gen.err
+}
+
+// flush issues the single Write for one batch, arming or clearing the
+// conn write deadline first. Runs with flushing held (no lock).
+func (cw *CoalescedWriter) flush(buf []byte, dl time.Time, frames int) error {
+	if cw.dw != nil {
+		if !dl.IsZero() {
+			_ = cw.dw.SetWriteDeadline(dl)
+			cw.armed = true
+		} else if cw.armed {
+			_ = cw.dw.SetWriteDeadline(time.Time{})
+			cw.armed = false
+		}
+	}
+	n, err := cw.w.Write(buf)
+	if cw.ob != nil {
+		cw.ob(frames, len(buf))
+	}
+	if err != nil && n > 0 && n < len(buf) {
+		// A prefix reached the peer: the stream is mid-frame and every
+		// further byte would be parsed as garbage.
+		return &partialFlushError{err: err}
+	}
+	return err
+}
+
+// partialFlushError marks a flush that wrote a strict prefix of its
+// batch — the condition that permanently corrupts the framing.
+type partialFlushError struct{ err error }
+
+func (e *partialFlushError) Error() string { return "wire: partial flush: " + e.err.Error() }
+func (e *partialFlushError) Unwrap() error { return e.err }
+
+// brokenByFlush reports whether a flush error corrupted the stream.
+func (cw *CoalescedWriter) brokenByFlush(err error) bool {
+	var p *partialFlushError
+	return errors.As(err, &p)
+}

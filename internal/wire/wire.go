@@ -101,6 +101,20 @@ func acquireBuf(n int) *Buf {
 	return b
 }
 
+// AppendFrame encodes f (length prefix, header, payload) onto dst and
+// returns the extended slice — the append-style primitive WriteFrame and
+// the coalescing writer share, so one buffer can hold many frames and a
+// single Write flushes them all.
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, f.Type)
+	dst = binary.LittleEndian.AppendUint64(dst, f.ID)
+	dst = binary.LittleEndian.AppendUint16(dst, f.Op)
+	dst = binary.LittleEndian.AppendUint16(dst, f.Status)
+	return append(dst, f.Payload...)
+}
+
 // WriteFrame serializes f to w in a single Write call (one buffer) so
 // concurrent writers only need external mutual exclusion per frame. The
 // encode buffer comes from an internal pool, so steady-state framing does
@@ -108,16 +122,8 @@ func acquireBuf(n int) *Buf {
 // net.Conn or bytes.Buffer does).
 func WriteFrame(w io.Writer, f *Frame) error {
 	bp := acquireBuf(4 + headerLen + len(f.Payload))
-	buf := bp.b
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(headerLen+len(f.Payload)))
-	binary.LittleEndian.PutUint16(buf[4:6], Magic)
-	buf[6] = Version
-	buf[7] = f.Type
-	binary.LittleEndian.PutUint64(buf[8:16], f.ID)
-	binary.LittleEndian.PutUint16(buf[16:18], f.Op)
-	binary.LittleEndian.PutUint16(buf[18:20], f.Status)
-	copy(buf[20:], f.Payload)
-	_, err := w.Write(buf)
+	bp.b = AppendFrame(bp.b[:0], f)
+	_, err := w.Write(bp.b)
 	bp.Release()
 	return err
 }
@@ -230,6 +236,9 @@ func (e *Buffer) Bytes() []byte { return e.b }
 
 // Len returns the current encoded length.
 func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset empties the buffer, keeping the backing array for reuse.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
 
 // U8 appends a byte.
 func (e *Buffer) U8(v uint8) *Buffer { e.b = append(e.b, v); return e }
