@@ -12,21 +12,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftcache"
 	"repro/internal/loadctl"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // hotpathConfig parameterizes the live concurrency benchmark.
 type hotpathConfig struct {
-	nodes     int
-	clients   int
-	files     int
-	fileBytes int64
-	duration  time.Duration
-	seed      int64
+	nodes        int
+	clients      int
+	files        int
+	fileBytes    int64
+	duration     time.Duration
+	seed         int64
 	skew         float64       // Zipf exponent; 0 = uniform
 	loadctl      bool          // enable client-side load control
 	admission    int           // per-server concurrent-read limit; 0 = unlimited
 	serviceDelay time.Duration // simulated per-read device service time
+	traced       bool          // trace every read and report p99 attribution
+	traceOut     string        // also append the attribution table here
 }
 
 // runHotpath boots a live in-process cluster and hammers its read path
@@ -80,9 +83,19 @@ func runHotpath(cfg hotpathConfig) error {
 	}
 	c.FlushMovers()
 
-	fmt.Printf("hotpath: %d nodes, %d clients, %d files x %d B, %s, skew=%.2f loadctl=%v admission=%d servicedelay=%s\n",
+	// Attribution mode traces the measurement loop only (not staging or
+	// warming) at sample rate 1, so the recorded population is the full
+	// steady-state workload. Throughput printed by a traced run carries
+	// the full tracing cost — use an untraced run for throughput numbers.
+	var rec *trace.Recorder
+	if cfg.traced {
+		rec = trace.Enable(traceCapacity, 1)
+		defer trace.Disable()
+	}
+
+	fmt.Printf("hotpath: %d nodes, %d clients, %d files x %d B, %s, skew=%.2f loadctl=%v admission=%d servicedelay=%s traced=%v\n",
 		cfg.nodes, cfg.clients, cfg.files, cfg.fileBytes, cfg.duration,
-		cfg.skew, cfg.loadctl, cfg.admission, cfg.serviceDelay)
+		cfg.skew, cfg.loadctl, cfg.admission, cfg.serviceDelay, cfg.traced)
 
 	var (
 		reads atomic.Int64
@@ -159,6 +172,9 @@ func runHotpath(cfg hotpathConfig) error {
 	printNodeShares(c)
 	printHotSplit()
 	printTelemetrySummary()
+	if cfg.traced {
+		return reportTraceAttribution(rec, cfg.traceOut, benchLog)
+	}
 	return nil
 }
 

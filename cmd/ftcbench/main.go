@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -20,6 +21,11 @@ import (
 
 	"repro/internal/experiments"
 )
+
+// benchLog is the process logger: results go to stdout as tables,
+// diagnostics go to stderr as structured records (tail exemplars carry
+// a trace_id field correlating them with /debug/traces).
+var benchLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig1|fig2|fig5a|fig5b|fig6a|fig6b|extrepl|extvnode|all")
@@ -36,6 +42,8 @@ func main() {
 	hpLoadctl := flag.Bool("loadctl", false, "hotpath: enable client-side load control (coalescing, hot-key fan-out, hedged reads)")
 	hpAdmission := flag.Int("admission", 0, "hotpath: per-server concurrent-read admission limit (0 = unlimited)")
 	hpServiceDelay := flag.Duration("servicedelay", 0, "hotpath: simulated per-read device service time (0 = off)")
+	hpTrace := flag.Bool("trace", false, "attribution mode: trace every hotpath read and decompose the read p99 into owner/replica/hedge/retry/queue/storage components")
+	hpTraceOut := flag.String("traceout", "", "trace: also append the markdown attribution table to this file")
 	chaosSoak := flag.Bool("chaos", false, "run a seeded fault-injection soak against a live in-process cluster")
 	ingestBench := flag.Bool("ingest", false, "drive the write path: sync puts vs the batched async pipeline, JSON to -out")
 	ingBatch := flag.Int("batch", 64, "ingest: max entries per wire batch")
@@ -47,11 +55,11 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("cpu profile create failed", "path", *cpuprofile, "err", err)
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("cpu profile start failed", "err", err)
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
@@ -83,7 +91,7 @@ func main() {
 			flushEvery: *ingFlushEvery,
 			out:        *ingOut,
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("ingest run failed", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -98,26 +106,28 @@ func main() {
 			duration:  *hpDuration,
 			seed:      *seed,
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("chaos soak failed", "err", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if *hotpath {
+	if *hotpath || *hpTrace {
 		if err := runHotpath(hotpathConfig{
-			nodes:     *hpNodes,
-			clients:   *hpClients,
-			files:     *hpFiles,
-			fileBytes: *hpFileBytes,
-			duration:  *hpDuration,
-			seed:      *seed,
+			nodes:        *hpNodes,
+			clients:      *hpClients,
+			files:        *hpFiles,
+			fileBytes:    *hpFileBytes,
+			duration:     *hpDuration,
+			seed:         *seed,
 			skew:         *hpSkew,
 			loadctl:      *hpLoadctl,
 			admission:    *hpAdmission,
 			serviceDelay: *hpServiceDelay,
+			traced:       *hpTrace,
+			traceOut:     *hpTraceOut,
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("hotpath run failed", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -125,7 +135,7 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("csv dir create failed", "dir", *csvDir, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -157,11 +167,11 @@ func main() {
 		path := filepath.Join(*csvDir, name+".csv")
 		file, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("csv create failed", "path", path, "err", err)
 			os.Exit(1)
 		}
 		if err := cw.WriteCSV(file); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			benchLog.Error("csv write failed", "path", path, "err", err)
 			os.Exit(1)
 		}
 		file.Close()

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// traceCapacity sizes the attribution run's flight recorder. The
+// analysis window is the most recent traceCapacity completed fragments
+// (client roots and server fragments share the ring), which at hotpath
+// rates is the last second or so of the run — a steady-state sample.
+const traceCapacity = 1 << 15
+
+// component indices of the p99 decomposition. owner/replica/hedge/pfs
+// are mutually exclusive per request (whoever served the winning
+// response); queue and storage are the server-side share of that
+// serving leg; retry is wall-clock burned on failed attempts before
+// the serving one; other is the remainder (coalesce wait, routing,
+// transport) — so the components sum to the end-to-end duration by
+// construction.
+const (
+	compOwner = iota
+	compReplica
+	compHedge
+	compPFS
+	compRetry
+	compQueue
+	compStorage
+	compOther
+	compCount
+)
+
+var compNames = [compCount]string{
+	"owner", "replica", "hedge", "pfs", "retry", "queue", "storage", "other",
+}
+
+// readDecomp is one client read's additive decomposition.
+type readDecomp struct {
+	id    trace.TraceID
+	total time.Duration
+	class int // compOwner | compReplica | compHedge | compPFS
+	parts [compCount]time.Duration
+}
+
+func annot(sp *trace.SpanRecord, key string) string {
+	for _, a := range sp.Annotations {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func annotNs(sp *trace.SpanRecord, key string) time.Duration {
+	v := annot(sp, key)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(n)
+}
+
+// decomposeRead splits one successful client.read trace into additive
+// components. fragments are this trace's server-side fragments (same
+// TraceID, recorded by the servers the request touched).
+func decomposeRead(tr *trace.Trace, fragments []*trace.Trace) readDecomp {
+	d := readDecomp{id: tr.ID, total: tr.Duration, class: compOwner}
+
+	// The serving attempt decides the responder class, mirroring the
+	// responder histograms in hvac: a hedge win is compHedge, a fan-out
+	// winner other than the routed node is compReplica, and anything
+	// else — including the no-fan-out fast path — is compOwner.
+	var servingNode string
+	var serve time.Duration
+	var retryRaw time.Duration
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		switch sp.Name {
+		case "read.attempt":
+			if sp.Err != "" {
+				retryRaw += sp.Duration
+				continue
+			}
+			servingNode = annot(sp, "node")
+			if w := annot(sp, "winner"); w != "" && w != servingNode {
+				d.class = compReplica
+				servingNode = w
+			}
+			if annot(sp, "hedge") == "win" {
+				d.class = compHedge
+			}
+		case "read.leg":
+			if sp.Err != "" {
+				retryRaw += sp.Duration
+			}
+		case "pfs.read":
+			if sp.Err == "" {
+				d.class = compPFS
+				serve = sp.Duration
+				servingNode = ""
+			}
+		}
+	}
+	if d.class != compPFS {
+		// The serving rpc.read is the successful one against the serving
+		// node (fan-out losers are cancelled or carry a fail annotation).
+		for i := range tr.Spans {
+			sp := &tr.Spans[i]
+			if sp.Name != "rpc.read" || sp.Err != "" || annot(sp, "source") == "" {
+				continue
+			}
+			if servingNode == "" || annot(sp, "node") == servingNode {
+				serve = sp.Duration
+				break
+			}
+		}
+	}
+
+	// Server-side share of the serving leg, from the matching fragment.
+	var queueRaw, storageRaw time.Duration
+	for _, fr := range fragments {
+		if fr.Root != "server.read" || len(fr.Spans) == 0 {
+			continue
+		}
+		var root *trace.SpanRecord
+		for i := range fr.Spans {
+			if fr.Spans[i].Name == "server.read" {
+				root = &fr.Spans[i]
+				break
+			}
+		}
+		if root == nil || (servingNode != "" && annot(root, "node") != servingNode) {
+			continue
+		}
+		queueRaw = annotNs(root, "conn_queue_ns") + annotNs(root, "admission_wait_ns") + annotNs(root, "device_wait_ns")
+		for i := range fr.Spans {
+			if fr.Spans[i].Name == "storage.read" {
+				storageRaw = fr.Spans[i].Duration
+			}
+		}
+		break
+	}
+
+	// Clamp hierarchically so the parts always sum to exactly total:
+	// queue and storage are carved out of the serving leg, retry out of
+	// the remainder, and other absorbs what is left.
+	clamp := func(v, hi time.Duration) time.Duration {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	serve = clamp(serve, d.total)
+	queue := clamp(queueRaw, serve)
+	storage := clamp(storageRaw, serve-queue)
+	retry := clamp(retryRaw, d.total-serve)
+	d.parts[d.class] = serve - queue - storage
+	d.parts[compQueue] = queue
+	d.parts[compStorage] = storage
+	d.parts[compRetry] = retry
+	d.parts[compOther] = d.total - serve - retry
+	return d
+}
+
+// traceAttribution computes the p99 decomposition over a recorder
+// snapshot: the mean of each component across the reads at or above
+// the end-to-end p99 ("where does a p99 read's time go"), alongside
+// the all-reads mean for contrast.
+type traceAttribution struct {
+	Reads    int
+	TailSize int
+	P99      time.Duration
+	TailMean [compCount]time.Duration
+	TailTot  time.Duration
+	AllMean  [compCount]time.Duration
+	AllTot   time.Duration
+	Tail     []readDecomp // slowest-first exemplars (the tail set)
+}
+
+func attributeTraces(traces []*trace.Trace) (traceAttribution, error) {
+	var att traceAttribution
+	fragments := make(map[trace.TraceID][]*trace.Trace)
+	for _, tr := range traces {
+		if tr.Remote {
+			fragments[tr.ID] = append(fragments[tr.ID], tr)
+		}
+	}
+	var reads []readDecomp
+	for _, tr := range traces {
+		if tr.Remote || tr.Root != "client.read" || tr.Err {
+			continue
+		}
+		reads = append(reads, decomposeRead(tr, fragments[tr.ID]))
+	}
+	if len(reads) == 0 {
+		return att, fmt.Errorf("no successful client.read traces recorded")
+	}
+	sort.Slice(reads, func(i, j int) bool { return reads[i].total > reads[j].total })
+	att.Reads = len(reads)
+	att.P99 = reads[(len(reads)-1)/100].total
+	tail := reads[:(len(reads)-1)/100+1]
+	att.TailSize = len(tail)
+	att.Tail = tail
+
+	mean := func(set []readDecomp, out *[compCount]time.Duration) time.Duration {
+		var tot time.Duration
+		var sums [compCount]time.Duration
+		for _, r := range set {
+			tot += r.total
+			for c := 0; c < compCount; c++ {
+				sums[c] += r.parts[c]
+			}
+		}
+		for c := 0; c < compCount; c++ {
+			out[c] = sums[c] / time.Duration(len(set))
+		}
+		return tot / time.Duration(len(set))
+	}
+	att.TailTot = mean(tail, &att.TailMean)
+	att.AllTot = mean(reads, &att.AllMean)
+	return att, nil
+}
+
+// writeAttributionTable renders the decomposition as a markdown table
+// (the EXPERIMENTS.md artifact; also what the run prints).
+func (att traceAttribution) writeAttributionTable(w io.Writer) {
+	fmt.Fprintf(w, "| component | p99-tail mean | share | all-reads mean |\n")
+	fmt.Fprintf(w, "|-----------|--------------:|------:|---------------:|\n")
+	var tailSum time.Duration
+	for c := 0; c < compCount; c++ {
+		tailSum += att.TailMean[c]
+		if att.TailMean[c] == 0 && att.AllMean[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "| %-9s | %13s | %4.1f%% | %14s |\n",
+			compNames[c], fmtDur(float64(att.TailMean[c])),
+			100*float64(att.TailMean[c])/float64(att.TailTot),
+			fmtDur(float64(att.AllMean[c])))
+	}
+	fmt.Fprintf(w, "| **sum**   | %13s | 100%%  | %14s |\n",
+		fmtDur(float64(tailSum)), fmtDur(float64(att.AllTot)))
+}
+
+// reportTraceAttribution analyzes the recorder after a traced hotpath
+// run: prints the table, logs tail exemplars with their trace ids (the
+// correlation key into /debug/traces), and optionally appends the
+// markdown artifact to outPath.
+func reportTraceAttribution(rec *trace.Recorder, outPath string, logger *slog.Logger) error {
+	att, err := attributeTraces(rec.Snapshot())
+	if err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Printf("trace attribution: %d reads analyzed (recorder kept %d of %d offered), e2e p99 %s, tail set %d\n",
+		att.Reads, st.Kept, st.Offered, fmtDur(float64(att.P99)), att.TailSize)
+	att.writeAttributionTable(os.Stdout)
+	for i, r := range att.Tail {
+		if i == 3 {
+			break
+		}
+		logger.Info("p99 tail exemplar",
+			"trace_id", fmt.Sprintf("%016x", uint64(r.id)),
+			"total", r.total.Round(time.Microsecond),
+			"class", compNames[r.class],
+			"retry", r.parts[compRetry].Round(time.Microsecond),
+			"queue", r.parts[compQueue].Round(time.Microsecond),
+			"storage", r.parts[compStorage].Round(time.Microsecond))
+	}
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "\np99 attribution (%d reads, p99 %s, tail set %d):\n\n",
+		att.Reads, fmtDur(float64(att.P99)), att.TailSize)
+	att.writeAttributionTable(f)
+	logger.Info("wrote attribution table", "path", outPath)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	ftcctl -servers ... stats
 //	ftcctl -servers ... ring path/a path/b
 //	ftcctl -servers ... ping
+//	ftcctl trace http://host0:9090 http://host1:9090   # fetch /debug/traces, stitch by trace id
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ftcache"
 	"repro/internal/hvac"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -31,14 +33,38 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-RPC timeout (TTL)")
 	limit := flag.Int("timeout-limit", 3, "consecutive timeouts before declaring a node failed")
 	benchIters := flag.Int("iters", 100, "bench: read iterations per path")
+	traceMax := flag.Int("trace-max", 0, "trace: fetch at most N traces per endpoint (0 = all kept)")
+	traceErrs := flag.Bool("trace-errs", false, "trace: show only traces with an error-class fragment")
+	traced := flag.Bool("traced", false, "propagate trace context with this invocation's RPCs, so server flight recorders capture fragments (view with ftcctl trace)")
 	flag.Parse()
+
+	if *traced {
+		// No local recorder: the fragments of interest are the ones the
+		// servers keep; this process only mints ids and sends them on the
+		// wire.
+		trace.SetEnabled(true)
+	}
+
+	if flag.NArg() < 1 {
+		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args] | ftcctl trace <telemetry-url>..."))
+	}
+
+	// trace talks to telemetry HTTP endpoints, not the RPC fleet, so it
+	// runs before any -servers parsing or client setup.
+	if flag.Arg(0) == "trace" {
+		urls := flag.Args()[1:]
+		if len(urls) == 0 {
+			fail(fmt.Errorf("usage: ftcctl trace <telemetry-url>...  (e.g. ftcctl trace http://host0:9090 http://host1:9090)"))
+		}
+		if err := runTrace(urls, *traceMax, *traceErrs); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	endpoints, order, err := parseServers(*servers)
 	if err != nil {
 		fail(err)
-	}
-	if flag.NArg() < 1 {
-		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args]"))
 	}
 
 	router := ftcache.NewRouter(ftcache.StrategyKind(*strategy), order, *vnodes)

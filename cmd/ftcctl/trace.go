@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// runTrace fetches /debug/traces from each telemetry endpoint and
+// pretty-prints the merged flight-recorder contents grouped by trace
+// id: the client's root fragment first, then every server-side
+// fragment that node-local recorders kept for the same request —
+// the stitched cross-node view of one read or ingest batch.
+func runTrace(urls []string, max int, errOnly bool) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	byID := make(map[trace.TraceID][]*trace.Trace)
+	var order []trace.TraceID
+	for _, base := range urls {
+		u := strings.TrimSuffix(base, "/") + "/debug/traces"
+		if max > 0 {
+			u += fmt.Sprintf("?max=%d", max)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			return fmt.Errorf("fetch %s: %w", u, err)
+		}
+		var payload trace.DebugPayload
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode %s: %w", u, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fetch %s: HTTP %d", u, resp.StatusCode)
+		}
+		if !payload.Enabled {
+			fmt.Printf("# %s: tracing disabled\n", base)
+		}
+		if payload.Stats != nil {
+			st := payload.Stats
+			fmt.Printf("# %s: kept=%d/%d offered (err=%d tail=%d), sample 1/%d, head 1/%d\n",
+				base, st.Kept, st.Offered, st.ErrKept, st.TailKept, st.SampleRate, st.HeadRate)
+		}
+		for _, tr := range payload.Traces {
+			if _, seen := byID[tr.ID]; !seen {
+				order = append(order, tr.ID)
+			}
+			byID[tr.ID] = append(byID[tr.ID], tr)
+		}
+	}
+
+	shown := 0
+	for _, id := range order {
+		group := byID[id]
+		if errOnly && !groupHasErr(group) {
+			continue
+		}
+		// Client root first, then fragments, oldest first.
+		sort.SliceStable(group, func(i, j int) bool {
+			if group[i].Remote != group[j].Remote {
+				return !group[i].Remote
+			}
+			return group[i].Start.Before(group[j].Start)
+		})
+		fmt.Printf("\ntrace %016x\n", uint64(id))
+		for _, tr := range group {
+			kind := "client"
+			if tr.Remote {
+				kind = "fragment"
+			}
+			flag := ""
+			if tr.Err {
+				flag = "  [ERR]"
+			}
+			fmt.Printf("  %s %s  %s%s\n", kind, tr.Root, tr.Duration.Round(time.Microsecond), flag)
+			printSpanTree(tr)
+		}
+		shown++
+	}
+	fmt.Printf("\n%d traces shown (%d fetched)\n", shown, len(order))
+	return nil
+}
+
+func groupHasErr(group []*trace.Trace) bool {
+	for _, tr := range group {
+		if tr.Err {
+			return true
+		}
+	}
+	return false
+}
+
+// printSpanTree renders one fragment's spans as an indented tree
+// (children under their parent, siblings in start order).
+func printSpanTree(tr *trace.Trace) {
+	children := make(map[trace.SpanID][]*trace.SpanRecord)
+	ids := make(map[trace.SpanID]bool, len(tr.Spans))
+	for i := range tr.Spans {
+		ids[tr.Spans[i].ID] = true
+	}
+	var roots []*trace.SpanRecord
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if sp.Parent != 0 && ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []*trace.SpanRecord) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	var walk func(sp *trace.SpanRecord, depth int)
+	walk = func(sp *trace.SpanRecord, depth int) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "    %s%-14s %10s", strings.Repeat("  ", depth), sp.Name,
+			sp.Duration.Round(time.Microsecond))
+		for _, a := range sp.Annotations {
+			fmt.Fprintf(&b, "  %s=%s", a.Key, a.Value)
+		}
+		if sp.Err != "" {
+			fmt.Fprintf(&b, "  err=%q", sp.Err)
+		}
+		fmt.Println(b.String())
+		kids := children[sp.ID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 0)
+	}
+}

@@ -8,15 +8,24 @@
 //	          -nvme-capacity 3500000000000
 //
 // Point every training rank's client (or ftcctl) at the fleet.
+//
+// Observability endpoints (all on the -metrics address):
+//
+//	/metrics        Prometheus exposition
+//	/debug/ftcache  JSON debug snapshot (plus a goroutines section with -pprof)
+//	/debug/traces   flight-recorder dump (enable recording with -trace-sample)
+//	/debug/pprof/*  net/http/pprof profiles (with -pprof)
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/cluster"
@@ -24,6 +33,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,8 +43,13 @@ func main() {
 	capacity := flag.Int64("nvme-capacity", 0, "cache capacity in bytes (0 = unbounded)")
 	queue := flag.Int("mover-queue", 256, "data-mover queue depth")
 	workers := flag.Int("mover-workers", 2, "data-mover worker count")
-	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /debug/ftcache on this address (e.g. :9090; empty = disabled)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics, JSON /debug/ftcache and /debug/traces on this address (e.g. :9090; empty = disabled)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics address and add a goroutine-dump section to /debug/ftcache")
+	traceSample := flag.Int("trace-sample", 0, "record request traces for 1-in-N requests (0 = tracing off, 1 = every request)")
+	traceHead := flag.Int("trace-head", 16, "flight-recorder head sampling: keep 1-in-N unremarkable recorded traces (errors and the slow tail are always kept)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("node", *node)
 
 	if *pfsDir == "" {
 		fmt.Fprintln(os.Stderr, "ftcserver: -pfs is required")
@@ -42,7 +57,15 @@ func main() {
 	}
 	pfs, err := storage.NewDirStore(*pfsDir)
 	if err != nil {
-		log.Fatalf("ftcserver: %v", err)
+		logger.Error("pfs init failed", "dir", *pfsDir, "err", err)
+		os.Exit(1)
+	}
+
+	if *traceSample > 0 {
+		rec := trace.Enable(trace.DefaultCapacity, *traceHead)
+		rec.SetSampleRate(*traceSample)
+		logger.Info("request tracing enabled",
+			"sample_rate", *traceSample, "head_rate", *traceHead, "capacity", trace.DefaultCapacity)
 	}
 
 	srv := hvac.NewServer(hvac.ServerConfig{
@@ -54,15 +77,39 @@ func main() {
 
 	lis, err := rpc.TCPNetwork{}.Listen(*listen)
 	if err != nil {
-		log.Fatalf("ftcserver: listen %s: %v", *listen, err)
+		logger.Error("listen failed", "addr", *listen, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("ftcserver: node %s serving on %s, PFS root %s", *node, lis.Addr(), pfs.Root())
+	logger.Info("serving", "addr", lis.Addr().String(), "pfs_root", pfs.Root())
+
+	if *pprofOn {
+		// The goroutine section makes /debug/ftcache self-contained for
+		// "is something wedged" triage: a count plus full stacks, without
+		// reaching for the pprof tooling.
+		telemetry.Default().RegisterDebug("goroutines", func() any {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			return map[string]any{
+				"count": runtime.NumGoroutine(),
+				"stack": string(buf[:n]),
+			}
+		})
+	}
 
 	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(telemetry.Default()))
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
-			log.Printf("ftcserver: telemetry on http://%s/metrics and /debug/ftcache", *metricsAddr)
-			if err := http.ListenAndServe(*metricsAddr, telemetry.Handler(telemetry.Default())); err != nil {
-				log.Printf("ftcserver: telemetry server: %v", err)
+			logger.Info("telemetry listening", "addr", *metricsAddr, "pprof", *pprofOn)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Error("telemetry server failed", "err", err)
 			}
 		}()
 	}
@@ -71,12 +118,13 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("ftcserver: %v, shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		srv.Close()
 	}()
 
 	if err := srv.Serve(lis); err != nil {
-		log.Fatalf("ftcserver: serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	}
 	srv.Close()
 }

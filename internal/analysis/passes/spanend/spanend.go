@@ -1,0 +1,516 @@
+// Package spanend enforces the trace span lifecycle (DESIGN.md §14):
+// every span acquired from trace.StartTrace, trace.StartSpan,
+// trace.StartRemote, or (*trace.Span).StartChild must reach End on
+// every path out of the acquiring function. A span that never ends is
+// worse than a leak: a never-ended child silently withholds its record
+// from the fragment, and a never-ended root withholds the whole trace
+// from the flight recorder — the instrumentation *looks* present and
+// records nothing.
+//
+// The check is the poollease walk with the release verb renamed:
+//
+//   - on every path from the acquisition to a path end (return, branch,
+//     loop re-entry, end of function) the span must be ended, deferred
+//     for ending, or handed off (passed to another function, returned,
+//     stored into a non-local location, or captured by a closure that
+//     ends it);
+//   - there is no error-path exemption: Start* cannot fail, and the
+//     nil *Span the disabled gate returns makes End free, so "ended on
+//     all paths" has no legitimate exception — an early return that
+//     skips End is exactly the regression this pass exists for;
+//   - a goroutine that captures the span without ending it is
+//     reported: the span's annotations are owned by one goroutine at a
+//     time, and the parent has no way to know when the capture ends.
+//
+// The walk is intra-procedural and syntactic about aliases (a copy of
+// the span pointer into another local is not tracked); function
+// literals are walked as functions of their own, so spans started
+// inside goroutine bodies (detached push/recache roots) are checked
+// where they live.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/ftc"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &ftc.Analyzer{
+	Name: "spanend",
+	Doc:  "every trace span from Start*/StartChild must reach End on all paths",
+	Run:  run,
+}
+
+func run(pass *ftc.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// spanResultIndex reports whether call acquires a span, and at which
+// result index the *Span sits: StartTrace and StartSpan return
+// (context.Context, *Span), StartRemote and StartChild return it alone.
+func spanResultIndex(info *types.Info, call *ast.CallExpr) (int, bool) {
+	fn, ok := ftc.CalleeObject(info, call).(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "StartTrace", "StartSpan":
+		if ftc.PkgNamed(fn.Pkg(), "trace") && fn.Type().(*types.Signature).Recv() == nil {
+			return 1, true
+		}
+	case "StartRemote":
+		if ftc.PkgNamed(fn.Pkg(), "trace") && fn.Type().(*types.Signature).Recv() == nil {
+			return 0, true
+		}
+	case "StartChild":
+		if ftc.ReceiverNamed(fn, "trace", "Span") {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// acquisition is one `_, sp := trace.StartX(...)` site.
+type acquisition struct {
+	stmt *ast.AssignStmt
+	call *ast.CallExpr
+	span types.Object // nil: assigned to _, itself a finding
+	body *ast.BlockStmt
+}
+
+// checkFunc checks every acquisition in fd, attributing each to the
+// innermost function-like body (the decl's or a function literal's)
+// that contains it, so a span started inside a goroutine closure is
+// checked against that closure's paths, not the enclosing function's.
+func checkFunc(pass *ftc.Pass, fd *ast.FuncDecl) {
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	innermost := func(pos token.Pos) *ast.BlockStmt {
+		best := fd.Body
+		for _, b := range bodies {
+			if b.Pos() <= pos && pos < b.End() && b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+		return best
+	}
+
+	var acqs []acquisition
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if idx, ok := spanResultIndex(pass.Info, call); ok {
+						a := acquisition{stmt: n, call: call, body: innermost(n.Pos())}
+						if idx < len(n.Lhs) {
+							if obj := lhsObject(pass.Info, n.Lhs[idx]); obj != nil {
+								a.span = obj
+							} else if !isBlank(n.Lhs[idx]) {
+								// Assigned straight into a field or other
+								// non-ident location: the owner of that
+								// location owns the End (handoff).
+								return true
+							}
+						}
+						acqs = append(acqs, a)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if _, ok := spanResultIndex(pass.Info, call); ok {
+					pass.Reportf(call.Pos(), "trace span discarded: End can never run and the span is lost")
+				}
+			}
+		}
+		return true
+	})
+	for _, a := range acqs {
+		if a.span == nil {
+			pass.Reportf(a.call.Pos(), "trace span assigned to _: End can never run and the span is lost")
+			continue
+		}
+		w := &walker{
+			pass:     pass,
+			body:     a.body,
+			acq:      a,
+			reported: map[token.Pos]bool{},
+		}
+		ends := w.walkStmts(a.body.List, state{})
+		for _, st := range ends {
+			w.endPath(a.body.Rbrace, st)
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// state is the End obligation along one control-flow path.
+type state struct {
+	active bool // the acquisition has executed on this path
+	ended  bool // End called, deferred, or ownership handed off
+}
+
+type walker struct {
+	pass     *ftc.Pass
+	body     *ast.BlockStmt
+	acq      acquisition
+	reported map[token.Pos]bool
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if !w.reported[pos] {
+		w.reported[pos] = true
+		w.pass.Reportf(pos, format, args...)
+	}
+}
+
+// endPath checks the obligation where a path terminates.
+func (w *walker) endPath(pos token.Pos, st state) {
+	if !st.active || st.ended {
+		return
+	}
+	w.reportf(pos, "trace span started at %s is not ended on this path",
+		w.pass.Fset.Position(w.acq.call.Pos()))
+}
+
+// usesObj reports whether n references obj.
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isEndCall matches sp.End().
+func (w *walker) isEndCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.pass.Info.Uses[id] == w.acq.span
+}
+
+// containsEnd reports whether n contains sp.End() anywhere (used for
+// closures and goroutines that take over the obligation).
+func (w *walker) containsEnd(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok && w.isEndCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// scanExprEvents processes the span events inside one evaluated
+// expression tree: ends and handoffs. Returns the updated state.
+func (w *walker) scanExprEvents(n ast.Node, st state) state {
+	if !st.active || st.ended {
+		return st
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if st.ended {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.CallExpr:
+			if w.isEndCall(c) {
+				st.ended = true
+				return false
+			}
+			// Span passed to another function: ownership handoff.
+			for _, arg := range c.Args {
+				if usesObj(w.pass.Info, arg, w.acq.span) {
+					st.ended = true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// A closure that ends the span takes over the obligation
+			// wherever it ends up running.
+			if w.containsEnd(c) {
+				st.ended = true
+			}
+			return false
+		}
+		return true
+	})
+	return st
+}
+
+func (w *walker) walkStmt(s ast.Stmt, st state) []state {
+	// Activation: the acquisition statement itself.
+	if s == ast.Stmt(w.acq.stmt) {
+		st.active = true
+		st.ended = false
+		return []state{st}
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.ExprStmt:
+		return []state{w.scanExprEvents(s.X, st)}
+
+	case *ast.AssignStmt:
+		st = w.scanExprEvents(s, st)
+		if st.active && !st.ended {
+			// Span stored into a non-local location (a struct field, a
+			// map, a captured variable): the owner of that location owns
+			// the End now.
+			for i, rhs := range s.Rhs {
+				if !usesObj(w.pass.Info, rhs, w.acq.span) {
+					continue
+				}
+				lhs := s.Lhs[min(i, len(s.Lhs)-1)]
+				root := ftc.RootIdent(lhs)
+				if root == nil {
+					st.ended = true
+					continue
+				}
+				if root.Name == "_" {
+					continue // discarding a value is not a handoff
+				}
+				obj := w.pass.Info.Uses[root]
+				if obj == nil {
+					obj = w.pass.Info.Defs[root]
+				}
+				if !ftc.DeclaredWithin(obj, w.body.Pos(), w.body.End()) {
+					st.ended = true
+				}
+			}
+		}
+		return []state{st}
+
+	case *ast.DeferStmt:
+		if st.active && !st.ended {
+			if w.isEndCall(s.Call) || w.containsEnd(s.Call) {
+				st.ended = true
+				return []state{st}
+			}
+			for _, arg := range s.Call.Args {
+				if usesObj(w.pass.Info, arg, w.acq.span) {
+					st.ended = true
+					return []state{st}
+				}
+			}
+		}
+		return []state{st}
+
+	case *ast.GoStmt:
+		if st.active && !st.ended {
+			if w.containsEnd(s.Call) {
+				st.ended = true
+				return []state{st}
+			}
+			if usesObj(w.pass.Info, s.Call, w.acq.span) {
+				w.reportf(s.Pos(), "goroutine captures the trace span without ending it; End it inside the goroutine or start the span there")
+			}
+		}
+		return []state{st}
+
+	case *ast.ReturnStmt:
+		if st.active && !st.ended {
+			// Returning the span transfers ownership to the caller.
+			for _, r := range s.Results {
+				if usesObj(w.pass.Info, r, w.acq.span) {
+					return nil
+				}
+			}
+		}
+		w.endPath(s.Pos(), st)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE, token.GOTO, token.BREAK:
+			// Conservative, like poollease: the obligation must be
+			// resolved before leaving the loop or jumping.
+			w.endPath(s.Pos(), st)
+			return nil
+		}
+		return []state{st}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.scanExprEvents(s.Init, st)
+		}
+		st = w.scanExprEvents(s.Cond, st)
+		out := w.walkStmts([]ast.Stmt{s.Body}, st)
+		if s.Else != nil {
+			out = append(out, w.walkStmts([]ast.Stmt{s.Else}, st)...)
+		} else {
+			out = append(out, st)
+		}
+		return out
+
+	case *ast.ForStmt:
+		return w.walkLoop(s.Body, st, s.Init, s.Cond, s.Post)
+
+	case *ast.RangeStmt:
+		return w.walkLoop(s.Body, st, nil, s.X, nil)
+
+	case *ast.SwitchStmt:
+		return w.walkCases(s.Body, st, s.Tag, s.Init)
+
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(s.Body, st, nil, s.Init)
+
+	case *ast.SelectStmt:
+		var out []state
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			cst := st
+			if comm.Comm != nil {
+				cst = w.scanExprEvents(comm.Comm, cst)
+			}
+			out = append(out, w.walkStmts(comm.Body, cst)...)
+		}
+		if len(s.Body.List) == 0 {
+			out = append(out, st)
+		}
+		return out
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		if n, ok := s.(ast.Node); ok {
+			st = w.scanExprEvents(n, st)
+		}
+		return []state{st}
+
+	default:
+		return []state{st}
+	}
+}
+
+// walkStmts walks a statement list, returning the states that fall
+// through its end.
+func (w *walker) walkStmts(stmts []ast.Stmt, st state) []state {
+	cur := []state{st}
+	for _, s := range stmts {
+		var next []state
+		for _, c := range cur {
+			next = append(next, w.walkStmt(s, c)...)
+		}
+		cur = dedupe(next)
+		if len(cur) == 0 {
+			break // every path terminated
+		}
+	}
+	return cur
+}
+
+// dedupe collapses identical path states so branch-heavy functions
+// stay linear instead of exponential.
+func dedupe(states []state) []state {
+	if len(states) < 2 {
+		return states
+	}
+	seen := map[state]bool{}
+	out := states[:0]
+	for _, s := range states {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// walkLoop walks a loop body. The acquisition may live inside the body
+// (per-iteration obligation: must resolve by the end of the body) or
+// outside it (the obligation simply flows through).
+func (w *walker) walkLoop(body *ast.BlockStmt, st state, init ast.Stmt, cond ast.Expr, post ast.Stmt) []state {
+	if init != nil {
+		st = w.scanExprEvents(init, st)
+	}
+	if cond != nil {
+		st = w.scanExprEvents(cond, st)
+	}
+	acqInside := body.Pos() <= w.acq.stmt.Pos() && w.acq.stmt.Pos() < body.End()
+	exits := w.walkStmts(body.List, st)
+	var out []state
+	for _, ex := range exits {
+		if acqInside && ex.active && !ex.ended {
+			// Falling into the next iteration starts a fresh span; this
+			// one never ends.
+			w.endPath(body.Rbrace, ex)
+			continue
+		}
+		out = append(out, ex)
+	}
+	// Zero-iteration path.
+	out = append(out, st)
+	return out
+}
+
+// walkCases forks the walk across switch case clauses.
+func (w *walker) walkCases(body *ast.BlockStmt, st state, tag ast.Expr, init ast.Stmt) []state {
+	if init != nil {
+		st = w.scanExprEvents(init, st)
+	}
+	if tag != nil {
+		st = w.scanExprEvents(tag, st)
+	}
+	var out []state
+	hasDefault := false
+	for _, cl := range body.List {
+		clause, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		out = append(out, w.walkStmts(clause.Body, st)...)
+	}
+	if !hasDefault {
+		out = append(out, st)
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/passes/errclass"
 	"repro/internal/analysis/passes/hotpathlock"
 	"repro/internal/analysis/passes/poollease"
+	"repro/internal/analysis/passes/spanend"
 	"repro/internal/analysis/passes/telemetrylabel"
 )
 
@@ -21,6 +22,7 @@ func All() []*ftc.Analyzer {
 		errclass.Analyzer,
 		hotpathlock.Analyzer,
 		poollease.Analyzer,
+		spanend.Analyzer,
 		telemetrylabel.Analyzer,
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/analysis/passes/errclass"
 	"repro/internal/analysis/passes/hotpathlock"
 	"repro/internal/analysis/passes/poollease"
+	"repro/internal/analysis/passes/spanend"
 	"repro/internal/analysis/passes/telemetrylabel"
 )
 
@@ -41,6 +42,10 @@ func TestErrclass(t *testing.T) {
 
 func TestAtomicfield(t *testing.T) {
 	analysistest.Run(t, srcRoot(t), "atomicfield", atomicfield.Analyzer)
+}
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, srcRoot(t), "spanend", spanend.Analyzer)
 }
 
 func TestTelemetrylabel(t *testing.T) {

@@ -1,0 +1,180 @@
+// Test cases for the spanend analyzer.
+package a
+
+import (
+	"context"
+	"errors"
+
+	"trace"
+)
+
+type holder struct{ sp *trace.Span }
+
+func take(sp *trace.Span) {}
+
+func work() error { return nil }
+
+// okDefer is the canonical shape: acquire, defer End.
+func okDefer(ctx context.Context) error {
+	ctx, sp := trace.StartTrace(ctx, "op")
+	defer sp.End()
+	_ = ctx
+	return work()
+}
+
+// okDeferClosure ends inside a deferred closure (the SetError+End
+// pattern around named returns).
+func okDeferClosure(ctx context.Context) (err error) {
+	_, sp := trace.StartTrace(ctx, "op")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	return work()
+}
+
+// okInlineBothBranches ends explicitly on every branch.
+func okInlineBothBranches(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "op")
+	if fail {
+		sp.End()
+		return errors.New("fail")
+	}
+	sp.End()
+	return nil
+}
+
+// okChild covers StartChild with an inline End.
+func okChild(parent *trace.Span) {
+	st := parent.StartChild("storage")
+	st.End()
+}
+
+// okRemote covers StartRemote with a defer.
+func okRemote(tid trace.TraceID, psid trace.SpanID) {
+	sp := trace.StartRemote("server.op", tid, psid)
+	defer sp.End()
+}
+
+// okHandoffCall passes the span on; the callee owns it now.
+func okHandoffCall(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "op")
+	take(sp)
+}
+
+// okHandoffReturn returns the span; the caller owns it now.
+func okHandoffReturn(tid trace.TraceID) *trace.Span {
+	sp := trace.StartRemote("op", tid, 0)
+	return sp
+}
+
+// okHandoffField stores the span into a non-local location; the
+// holder's owner ends it (the ingest batch span pattern).
+func okHandoffField(h *holder, ctx context.Context) {
+	_, sp := trace.StartTrace(ctx, "batch")
+	h.sp = sp
+}
+
+// okGoroutineHandoff transfers the obligation into the goroutine.
+func okGoroutineHandoff(ctx context.Context) {
+	_, sp := trace.StartTrace(ctx, "async")
+	go func() {
+		defer sp.End()
+		_ = work()
+	}()
+}
+
+// okInsideClosure starts and ends within a goroutine body — checked as
+// a function of its own (the detached push/recache pattern).
+func okInsideClosure(ctx context.Context) {
+	go func() {
+		_, sp := trace.StartTrace(context.Background(), "detached")
+		defer sp.End()
+		_ = work()
+	}()
+	_ = ctx
+}
+
+// okLoopPerIteration ends each iteration's span before the next.
+func okLoopPerIteration(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, sp := trace.StartSpan(ctx, "attempt")
+		sp.SetError(work())
+		sp.End()
+	}
+}
+
+// leakEarlyReturn is the regression class the pass exists for: an
+// early return added between the Start and the End.
+func leakEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := trace.StartTrace(ctx, "op")
+	if fail {
+		return errors.New("fail") // want `span started at .* is not ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// leakErrorPath has no error-path exemption: Start* cannot fail, so
+// even an error return must End (the nil-safe End costs nothing).
+func leakErrorPath(ctx context.Context) error {
+	_, sp := trace.StartSpan(ctx, "op")
+	if err := work(); err != nil {
+		return err // want `span started at .* is not ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+// leakFallthrough never ends at all.
+func leakFallthrough(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "op")
+	_ = sp
+} // want `span started at .* is not ended on this path`
+
+// leakLoopReentry lets the span fall into the next iteration.
+func leakLoopReentry(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, sp := trace.StartSpan(ctx, "attempt")
+		if work() == nil {
+			continue // want `span started at .* is not ended on this path`
+		}
+		sp.End()
+	}
+}
+
+// leakInsideClosure leaks within a goroutine body.
+func leakInsideClosure() {
+	go func() {
+		_, sp := trace.StartTrace(context.Background(), "detached")
+		_ = sp
+	}() // want `span started at .* is not ended on this path`
+}
+
+// discard can never End.
+func discard(ctx context.Context) {
+	trace.StartRemote("op", 1, 2) // want `span discarded`
+}
+
+// blankSpan can never End either.
+func blankSpan(ctx context.Context) {
+	_, _ = trace.StartTrace(ctx, "op") // want `span assigned to _`
+}
+
+// goroutineCapture hands the span to a goroutine that never ends it.
+func goroutineCapture(ctx context.Context) {
+	_, sp := trace.StartTrace(ctx, "op")
+	go take(sp) // want `goroutine captures the trace span without ending it`
+	sp.End()
+}
+
+// suppressed is a justified finding with an explicit ignore.
+func suppressed(ctx context.Context, fail bool) error {
+	_, sp := trace.StartTrace(ctx, "op")
+	if fail {
+		//ftclint:ignore spanend process is exiting; the trace is intentionally dropped
+		return errors.New("fail")
+	}
+	sp.End()
+	return nil
+}

@@ -216,6 +216,34 @@ func (c *Controller) isCut(src, dst string) bool {
 	return c.cutLocked(src, dst)
 }
 
+// ActiveFaults describes the faults currently armed on this source's
+// path to dst, as deterministic human-readable strings in a fixed
+// order (cut before blackhole before latency). Request tracing
+// annotates a failed or slow RPC's span with them, so a seeded soak
+// replay shows *which* injected fault stretched *which* request —
+// configured values only, never measured ones, keeping the annotation
+// replay-stable.
+func (n *Network) ActiveFaults(dst string) []string {
+	c := n.ctl
+	var out []string
+	c.mu.RLock()
+	if c.cutLocked(n.src, dst) || c.cutLocked(dst, n.src) {
+		out = append(out, "cut")
+	}
+	if _, ok := c.blackholes[dst]; ok {
+		out = append(out, "blackhole")
+	}
+	c.mu.RUnlock()
+	if s, ok := c.latencyFor(n.src, dst); ok {
+		f := fmt.Sprintf("latency=%v", s.delay)
+		if s.jitter > 0 {
+			f += fmt.Sprintf("±%v", s.jitter)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // CutOneWay installs an asymmetric partition: frames flowing src→dst
 // are dropped (requests lost but responses intact, or vice versa — the
 // gray-failure shape a half-broken link produces). Wildcards allowed.

@@ -15,6 +15,8 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // DecisionKind says where a read should go.
@@ -369,9 +371,14 @@ func (c *Client) Read(ctx context.Context, path string) ([]byte, error) {
 
 // ReadRange returns [offset, offset+length) of path; length < 0 means to
 // EOF.
-func (c *Client) ReadRange(ctx context.Context, path string, offset, length int64) ([]byte, error) {
+func (c *Client) ReadRange(ctx context.Context, path string, offset, length int64) (data []byte, err error) {
 	m := cliMetrics()
 	start := time.Now()
+	// "client.read" is the root of the whole request DAG: every attempt,
+	// coalesced flight, fan-out leg, and server fragment hangs under it.
+	// With tracing off this is one atomic load and sp stays nil.
+	ctx, sp := trace.StartTrace(ctx, "client.read")
+	sp.Annotate("path", path)
 	defer func() {
 		elapsed := time.Since(start)
 		m.reads.Inc()
@@ -380,6 +387,8 @@ func (c *Client) ReadRange(ctx context.Context, path string, offset, length int6
 		c.latMu.Lock()
 		c.latency.Add(ms)
 		c.latMu.Unlock()
+		sp.SetError(err)
+		sp.End()
 	}()
 	// Whole-file reads through a load-controlled client coalesce:
 	// concurrent readers of one path share a single flight. Range reads
@@ -416,11 +425,26 @@ func (c *Client) readCoalesced(ctx context.Context, path string) ([]byte, error)
 	var err error
 	var shared bool
 	for try := 0; try <= coalesceRetries; try++ {
-		data, err, shared = c.load.Coalesce.Do(ctx, path, (*fullReadFetcher)(c))
+		// The coalesce span records whether this caller led or followed
+		// the flight; the winner's span id rides the flight as its
+		// leader token, so a follower's trace names the flight it
+		// piggybacked on (leader_id is identity-class — stripped from
+		// the canonical export like every id).
+		cctx, sp := trace.StartSpan(ctx, "coalesce.do")
+		var leader uint64
+		data, err, shared, leader = c.load.Coalesce.DoLinked(cctx, path, (*fullReadFetcher)(c), uint64(sp.ID()))
 		if shared {
+			sp.Annotate("role", "follower")
+			if leader != 0 {
+				sp.AnnotateInt("leader_id", int64(leader))
+			}
 			c.coalescedReads.Add(1)
 			cliMetrics().coalesced.Inc()
+		} else {
+			sp.Annotate("role", "leader")
 		}
+		sp.SetError(err)
+		sp.End()
 		if err == nil || !shared || ctx.Err() != nil {
 			return data, err
 		}
@@ -449,10 +473,15 @@ func (c *Client) readAttempts(ctx context.Context, path string, offset, length i
 			return nil, ErrAborted
 
 		case RoutePFS:
-			return c.readPFS(path, offset, length)
+			return c.readPFS(ctx, path, offset, length)
 
 		case RouteNode:
-			data, err := c.readRouted(ctx, d.Node, path, offset, length)
+			actx, asp := trace.StartSpan(ctx, "read.attempt")
+			asp.AnnotateInt("attempt", int64(attempt))
+			asp.Annotate("node", string(d.Node))
+			data, err := c.readRouted(actx, d.Node, path, offset, length)
+			asp.SetError(err)
+			asp.End()
 			if err == nil {
 				return data, nil
 			}
@@ -471,7 +500,7 @@ func (c *Client) readAttempts(ctx context.Context, path string, offset, length i
 				c.shedRedirects.Add(1)
 				m.shedRedirects.Inc()
 				if c.cfg.PFS != nil {
-					return c.readPFS(path, offset, length)
+					return c.readPFS(ctx, path, offset, length)
 				}
 				continue
 			}
@@ -486,11 +515,16 @@ func (c *Client) readAttempts(ctx context.Context, path string, offset, length i
 }
 
 // readPFS serves a read directly from the parallel filesystem.
-func (c *Client) readPFS(path string, offset, length int64) ([]byte, error) {
+func (c *Client) readPFS(ctx context.Context, path string, offset, length int64) (data []byte, err error) {
+	_, sp := trace.StartSpan(ctx, "pfs.read")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	if c.cfg.PFS == nil {
 		return nil, errors.New("hvac: RoutePFS without a PFS handle")
 	}
-	data, err := c.cfg.PFS.Get(path)
+	data, err = c.cfg.PFS.Get(path)
 	if err != nil {
 		if errors.Is(err, storage.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
@@ -555,7 +589,7 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 		budget = c.cfg.Retry.Retries()
 	}
 	for attempt := 0; ; attempt++ {
-		data, err, class := c.readNodeOnce(ctx, node, path, offset, length, note)
+		data, err, class := c.readNodeOnce(ctx, node, path, offset, length, note, attempt)
 		switch class {
 		case classOK, classApp, classCtx:
 			return data, err
@@ -589,7 +623,22 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 
 // readNodeOnce performs exactly one RPC read attempt against node and
 // classifies the outcome; evidence and retries are the caller's job.
-func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path string, offset, length int64, note bool) ([]byte, error, errClass) {
+// try is the conn-class retry ordinal (0 = first try), recorded on the
+// span so retried RPCs are distinguishable from fresh ones.
+func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path string, offset, length int64, note bool, try int) (rdata []byte, rerr error, rclass errClass) {
+	// "rpc.read" is the client half of one wire round-trip; the server
+	// stitches its "server.read" fragment under this span's id, carried
+	// in the request's trace extension.
+	_, sp := trace.StartSpan(ctx, "rpc.read")
+	sp.Annotate("node", string(node))
+	if try > 0 {
+		sp.AnnotateInt("try", int64(try))
+	}
+	c.annotateChaos(sp, node)
+	defer func() {
+		sp.SetError(rerr)
+		sp.End()
+	}()
 	cli, err := c.conn(node)
 	if err != nil {
 		switch {
@@ -598,13 +647,18 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 		case isNetTimeout(err):
 			// The dial consumed its full timeout (a black-holed SYN):
 			// that is timeout evidence, exactly like an expired TTL.
+			sp.Annotate("fail", "dial_timeout")
 			return nil, err, classTimeout
 		default:
 			// Refused / no listener: fast failure, retry material.
+			sp.Annotate("fail", "conn")
 			return nil, err, classConn
 		}
 	}
 	req := ReadReq{Path: path, Offset: offset, Length: length}
+	if sp != nil {
+		req.Trace = wire.TraceExt{TraceID: uint64(sp.TraceID()), SpanID: uint64(sp.ID())}
+	}
 	start := time.Now()
 	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
 	payload, status, err := cli.Call(callCtx, OpRead, req.Marshal())
@@ -612,13 +666,16 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 	if err != nil {
 		switch {
 		case errors.Is(err, rpc.ErrTimeout):
+			sp.Annotate("fail", "timeout")
 			return nil, err, classTimeout
 		case errors.Is(err, rpc.ErrClosed):
 			c.dropConn(node)
+			sp.Annotate("fail", "conn")
 			return nil, err, classConn
 		case ctx.Err() != nil:
 			return nil, ctx.Err(), classCtx
 		default:
+			sp.Annotate("fail", "timeout")
 			return nil, err, classTimeout
 		}
 	}
@@ -633,6 +690,7 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 	case StatusNotFound:
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, path), classApp
 	case StatusOverloaded:
+		sp.Annotate("fail", "overloaded")
 		return nil, fmt.Errorf("%w: %s", ErrOverloaded, node), classApp
 	default:
 		return nil, fmt.Errorf("hvac: server error status %d: %s", status, payload), classApp
@@ -641,6 +699,7 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 	if err := resp.Unmarshal(payload); err != nil {
 		return nil, err, classApp
 	}
+	sp.Annotate("source", sourceName(resp.Source))
 	// Only ordinary (non-raced) successes feed the hedge-delay p99:
 	// fan-out legs complete near the hedge delay by construction and
 	// would ratchet the estimate downward.
@@ -668,6 +727,35 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 func isNetTimeout(err error) bool {
 	var nerr net.Error
 	return errors.As(err, &nerr) && nerr.Timeout()
+}
+
+// faultLister is the optional network extension (implemented by
+// chaos.Network) reporting the faults currently armed on the path to a
+// destination. The interface keeps hvac decoupled from the chaos
+// package: any network that can describe its faults gets them onto
+// spans.
+type faultLister interface {
+	ActiveFaults(dst string) []string
+}
+
+// annotateChaos records the armed faults on the path to node on sp, so
+// a soak replay shows which injected fault stretched which request.
+// Free when sp is nil (tracing off) or the network injects no faults.
+func (c *Client) annotateChaos(sp *trace.Span, node cluster.NodeID) {
+	if sp == nil {
+		return
+	}
+	fl, ok := c.cfg.Network.(faultLister)
+	if !ok {
+		return
+	}
+	ep, ok := c.cfg.Endpoints[node]
+	if !ok {
+		return
+	}
+	for _, f := range fl.ActiveFaults(ep) {
+		sp.Annotate("chaos", f)
+	}
 }
 
 // readHot serves a read of a sketch-flagged hot key: the candidate set
@@ -727,6 +815,11 @@ func (c *Client) readFanout(ctx context.Context, primary cluster.NodeID, cands [
 		}
 	}
 
+	// psp is the enclosing read.attempt span; readFanout runs on the
+	// goroutine that created it, so annotating it here is race-free.
+	// Leg goroutines get their own child spans instead — a losing leg
+	// that outlives the root is simply dropped at End.
+	psp := trace.FromContext(ctx)
 	fanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type legResult struct {
@@ -744,7 +837,14 @@ func (c *Client) readFanout(ctx context.Context, primary cluster.NodeID, cands [
 		node := order[launched]
 		launched++
 		go func() {
-			data, err := c.readFromNodeOpts(fanCtx, node, path, offset, length, false)
+			lctx, lsp := trace.StartSpan(fanCtx, "read.leg")
+			lsp.Annotate("node", string(node))
+			if hedged {
+				lsp.Annotate("hedged", "true")
+			}
+			data, err := c.readFromNodeOpts(lctx, node, path, offset, length, false)
+			lsp.SetError(err)
+			lsp.End()
 			results <- legResult{node: node, data: data, err: err, hedged: hedged}
 		}()
 	}
@@ -770,6 +870,7 @@ func (c *Client) readFanout(ctx context.Context, primary cluster.NodeID, cands [
 			if launched < len(order) {
 				c.hedgedReads.Add(1)
 				m.hedges.Inc()
+				psp.Annotate("hedge", "fired")
 				launch(true)
 				outstanding++
 			}
@@ -783,11 +884,13 @@ func (c *Client) readFanout(ctx context.Context, primary cluster.NodeID, cands [
 					c.hedgeWins.Add(1)
 					m.hedgeWins.Inc()
 					m.hedgeLatency.Observe(elapsed)
+					psp.Annotate("hedge", "win")
 				case r.node == primary:
 					m.ownerLatency.Observe(elapsed)
 				default:
 					m.replLatency.Observe(elapsed)
 				}
+				psp.Annotate("winner", string(r.node))
 				return r.data, nil
 			}
 			if errors.Is(r.err, ErrNotFound) {
@@ -862,7 +965,13 @@ func (c *Client) maybePushHot(path string, data []byte) {
 		go func() {
 			defer c.replWG.Done()
 			defer func() { <-c.replSem }()
-			if err := c.Push(context.Background(), node, path, body); err == nil {
+			pctx, sp := trace.StartTrace(context.Background(), "hot.push")
+			sp.Annotate("node", string(node))
+			sp.Annotate("path", path)
+			err := c.Push(pctx, node, path, body)
+			sp.SetError(err)
+			sp.End()
+			if err == nil {
 				c.hotPushes.Add(1)
 				cliMetrics().hotPush.Inc()
 			}
@@ -903,7 +1012,16 @@ func (c *Client) replicateAsync(path string, data []byte) {
 		go func() {
 			defer c.replWG.Done()
 			defer func() { <-c.replSem }()
-			if err := c.Push(context.Background(), node, path, body); err == nil {
+			// Replication is asynchronous by design, so its leg is a
+			// detached root trace: by the time it runs, the read that
+			// triggered it has already returned (and sealed its trace).
+			pctx, sp := trace.StartTrace(context.Background(), "replica.push")
+			sp.Annotate("node", string(node))
+			sp.Annotate("path", path)
+			err := c.Push(pctx, node, path, body)
+			sp.SetError(err)
+			sp.End()
+			if err == nil {
 				c.replicaPushes.Add(1)
 				cliMetrics().replicaPush.Inc()
 			}
@@ -912,12 +1030,17 @@ func (c *Client) replicateAsync(path string, data []byte) {
 }
 
 // Push writes an object into a specific node's cache (replica write).
+// A span in ctx propagates on the wire, so the server's "server.put"
+// fragment stitches under the caller's trace.
 func (c *Client) Push(ctx context.Context, node cluster.NodeID, path string, data []byte) error {
 	cli, err := c.conn(node)
 	if err != nil {
 		return err
 	}
 	req := PutReq{Path: path, Data: data}
+	if tid, sid, ok := trace.ContextIDs(ctx); ok {
+		req.Trace = wire.TraceExt{TraceID: uint64(tid), SpanID: uint64(sid)}
+	}
 	callCtx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
 	defer cancel()
 	_, status, err := cli.Call(callCtx, OpPut, req.Marshal())

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -79,6 +80,17 @@ const (
 	flushReasonSync
 )
 
+func flushReasonName(reason int) string {
+	switch reason {
+	case flushReasonSize:
+		return "size"
+	case flushReasonAge:
+		return "age"
+	default:
+		return "sync"
+	}
+}
+
 // ingestBatch is one sealed-or-building batch bound for a node. The
 // payload is encoded at enqueue time straight into enc (count prefix
 // patched at seal), so flushing is a pointer handoff, not an O(bytes)
@@ -88,6 +100,14 @@ type ingestBatch struct {
 	paths []string // request-ordered, for per-entry error reporting
 	done  chan struct{}
 	err   error // batch-level failure; set before done closes
+	// span is the batch's root trace ("ingest.batch"): one per flush
+	// generation, nil with tracing off. Access is sequential across the
+	// batch's lifecycle (build/seal under the worker lock, then the
+	// sender after the channel handoff), never concurrent. Per-entry
+	// spans are deliberately avoided — a batch can hold thousands of
+	// objects, and the generation is the unit that queues, ships, and
+	// acks.
+	span *trace.Span
 }
 
 func (b *ingestBatch) entries() int { return len(b.paths) }
@@ -172,6 +192,12 @@ func (w *appendWorker) enqueue(path string, data []byte) error {
 			enc:  enc,
 			done: make(chan struct{}),
 		}
+		// A detached root per batch: the batch aggregates puts from many
+		// callers, so no single caller's trace can parent it. Starting at
+		// batch creation makes the span duration cover build + queue +
+		// send — the full latency an object can see inside the pipeline.
+		_, w.cur.span = trace.StartTrace(context.Background(), "ingest.batch")
+		w.cur.span.Annotate("node", string(w.node))
 		// 4-byte count placeholder, patched at seal.
 		w.cur.enc.U32(0)
 		w.timer = time.AfterFunc(cfg.MaxDelay, w.flushAge)
@@ -206,6 +232,13 @@ func (w *appendWorker) sealLocked(reason int) {
 		w.timer = nil
 	}
 	binary.LittleEndian.PutUint32(b.enc.Bytes()[:4], uint32(b.entries()))
+	if b.span != nil {
+		b.span.Annotate("flush", flushReasonName(reason))
+		b.span.AnnotateInt("entries", int64(b.entries()))
+		// The ext rides after the entries; PutBatchReq decodes it as the
+		// optional trailer, so the server's handler span joins this trace.
+		b.enc.AppendTraceExt(wire.TraceExt{TraceID: uint64(b.span.TraceID()), SpanID: uint64(b.span.ID())})
+	}
 	// Prune acked batches so unacked doesn't grow without bound on a
 	// long-lived worker that is never explicitly flushed.
 	kept := w.unacked[:0]
@@ -247,6 +280,10 @@ func (w *appendWorker) sender() {
 
 func (w *appendWorker) send(b *ingestBatch) {
 	defer close(b.done)
+	defer func() {
+		b.span.SetError(b.err)
+		b.span.End()
+	}()
 	// The encoding is consumed by the time Call returns (the frame is
 	// copied into the coalesced write buffer); recycle it. Only done/err
 	// are read after this point.
@@ -308,6 +345,8 @@ func (w *appendWorker) send(b *ingestBatch) {
 			}
 		}
 	}
+	b.span.AnnotateInt("acked", int64(b.entries()-bad))
+	b.span.AnnotateInt("failed", int64(bad))
 	if bad > 0 {
 		b.err = firstBad
 		m.ingestErrors.Add(int64(bad))

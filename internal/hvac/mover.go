@@ -1,11 +1,13 @@
 package hvac
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Mover is the HVAC server's background data-mover thread (§II-B): after
@@ -116,7 +118,16 @@ func (m *Mover) FillBatchSync(entries []storage.BatchEntry) []error {
 func (m *Mover) run() {
 	defer m.wg.Done()
 	for job := range m.ch {
-		m.fill(job.path, job.data, false)
+		// A detached root per queued fill: the read that queued it has
+		// already sealed its trace by the time the worker runs. Inline
+		// fills don't get one — they are timed inside the read's own
+		// storage span.
+		_, sp := trace.StartTrace(context.Background(), "mover.recache")
+		sp.Annotate("node", m.node)
+		sp.Annotate("path", job.path)
+		err := m.fill(job.path, job.data, false)
+		sp.SetError(err)
+		sp.End()
 		m.mu.Lock()
 		m.inQ--
 		if m.inQ == 0 {

@@ -72,12 +72,20 @@ type ReadReq struct {
 	Path   string
 	Offset int64
 	Length int64 // < 0 → to EOF
+	// Trace is the optional trace context (zero = untraced). It rides
+	// as a wire.TraceExt trailer after the request fields, so untraced
+	// requests are byte-identical to the pre-trace encoding.
+	Trace wire.TraceExt
 }
 
 // Marshal encodes the request.
 func (r *ReadReq) Marshal() []byte {
-	return wire.NewBuffer(len(r.Path) + 24).
-		String(r.Path).I64(r.Offset).I64(r.Length).Bytes()
+	e := wire.NewBuffer(len(r.Path) + 24 + wire.TraceExtSize).
+		String(r.Path).I64(r.Offset).I64(r.Length)
+	if r.Trace.Valid() {
+		e.AppendTraceExt(r.Trace)
+	}
+	return e.Bytes()
 }
 
 // Unmarshal decodes the request.
@@ -86,6 +94,7 @@ func (r *ReadReq) Unmarshal(b []byte) error {
 	r.Path = d.String()
 	r.Offset = d.I64()
 	r.Length = d.I64()
+	r.Trace, _ = d.DecodeTraceExt()
 	if d.Err() != nil {
 		return ErrDecode
 	}
@@ -163,12 +172,18 @@ func (r *StatResp) Unmarshal(b []byte) error {
 type PutReq struct {
 	Path string
 	Data []byte
+	// Trace is the optional trace context (zero = untraced).
+	Trace wire.TraceExt
 }
 
 // Marshal encodes the request.
 func (r *PutReq) Marshal() []byte {
-	return wire.NewBuffer(len(r.Path) + len(r.Data) + 8).
-		String(r.Path).Bytes32(r.Data).Bytes()
+	e := wire.NewBuffer(len(r.Path) + len(r.Data) + 8 + wire.TraceExtSize).
+		String(r.Path).Bytes32(r.Data)
+	if r.Trace.Valid() {
+		e.AppendTraceExt(r.Trace)
+	}
+	return e.Bytes()
 }
 
 // Unmarshal decodes the request. Data aliases b.
@@ -176,6 +191,7 @@ func (r *PutReq) Unmarshal(b []byte) error {
 	d := wire.NewReader(b)
 	r.Path = d.String()
 	r.Data = d.Bytes32()
+	r.Trace, _ = d.DecodeTraceExt()
 	if d.Err() != nil {
 		return ErrDecode
 	}
@@ -200,16 +216,22 @@ const minPutEntryWire = 8
 // explicit flush of an empty buffer acknowledges as an empty response).
 type PutBatchReq struct {
 	Entries []PutEntry
+	// Trace is the optional trace context of the flush generation that
+	// sealed this batch (zero = untraced).
+	Trace wire.TraceExt
 }
 
 // Marshal encodes the request.
 func (r *PutBatchReq) Marshal() []byte {
-	size := 4
+	size := 4 + wire.TraceExtSize
 	for i := range r.Entries {
 		size += minPutEntryWire + len(r.Entries[i].Path) + len(r.Entries[i].Data)
 	}
 	e := wire.NewBuffer(size)
 	AppendPutBatch(e, r.Entries)
+	if r.Trace.Valid() {
+		e.AppendTraceExt(r.Trace)
+	}
 	return e.Bytes()
 }
 
@@ -247,9 +269,11 @@ func (r *PutBatchReq) Unmarshal(b []byte) error {
 		}
 		r.Entries = append(r.Entries, PutEntry{Path: p, Data: data})
 	}
-	if d.Remaining() != 0 {
-		// Trailing bytes mean a corrupt count; reject rather than
-		// silently dropping caller data.
+	// Anything after the entries must be a well-formed trace extension;
+	// other trailing bytes mean a corrupt count — reject rather than
+	// silently dropping caller data.
+	r.Trace, _ = d.DecodeTraceExt()
+	if d.Err() != nil {
 		return ErrDecode
 	}
 	return nil

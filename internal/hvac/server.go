@@ -10,6 +10,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ServerConfig configures one HVAC server daemon.
@@ -75,7 +76,7 @@ func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
 	}
 	s.mover = NewMover(s.nvme, cfg.MoverQueueDepth, cfg.MoverWorkers)
 	s.mover.node = string(cfg.Node)
-	s.rpc = rpc.NewServer(rpc.HandlerFunc(s.handle))
+	s.rpc = rpc.NewServer(s)
 	s.registerTelemetry()
 	return s
 }
@@ -112,7 +113,16 @@ func (s *Server) Close() {
 	s.mover.Close()
 }
 
-func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
+// Handle implements rpc.Handler (direct handler invocations in tests
+// and tools; the RPC server itself dispatches through HandleWait).
+func (s *Server) Handle(op uint16, payload []byte) (uint16, []byte) {
+	return s.HandleWait(op, payload, 0)
+}
+
+// HandleWait implements rpc.WaitHandler: connWait is the time the
+// request sat in the per-connection fan-out queue, which tracing
+// reports as the first slice of the server-side queue component.
+func (s *Server) HandleWait(op uint16, payload []byte, connWait time.Duration) (uint16, []byte) {
 	switch op {
 	case OpPing:
 		return rpc.StatusOK, nil
@@ -120,14 +130,19 @@ func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
 		// Admission gate: only reads are limited — control-plane ops
 		// (ping, stats) must keep answering under overload so liveness
 		// probes and observability stay truthful, and puts are already
-		// bounded by the pusher's semaphore.
+		// bounded by the pusher's semaphore. The gate runs before the
+		// payload is even decoded, so a shed request costs no parse and
+		// gets no span — the limiter's own counters are its record.
+		admissionWait := time.Duration(0)
 		if s.limiter != nil {
-			if !s.limiter.Acquire() {
+			ok, wait := s.limiter.AcquireWait()
+			if !ok {
 				return StatusOverloaded, nil
 			}
 			defer s.limiter.Release()
+			admissionWait = wait
 		}
-		return s.handleRead(payload)
+		return s.handleRead(payload, connWait, admissionWait)
 	case OpStat:
 		return s.handleStat(payload)
 	case OpStats:
@@ -137,7 +152,7 @@ func (s *Server) handle(op uint16, payload []byte) (uint16, []byte) {
 	case OpPut:
 		return s.handlePut(payload)
 	case OpPutBatch:
-		return s.handlePutBatch(payload)
+		return s.handlePutBatch(payload, connWait)
 	default:
 		return StatusError, []byte("unknown opcode")
 	}
@@ -154,12 +169,21 @@ func (s *Server) handlePut(payload []byte) (uint16, []byte) {
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
 	}
+	sp := trace.StartRemote("server.put", trace.TraceID(req.Trace.TraceID), trace.SpanID(req.Trace.SpanID))
+	defer sp.End()
+	sp.Annotate("node", string(s.cfg.Node))
 	if s.nvme.Has(req.Path) {
+		sp.Annotate("dedup", "cached")
 		return rpc.StatusOK, nil
 	}
 	// The payload aliases the RPC buffer; copy before retaining.
 	data := append([]byte(nil), req.Data...)
-	if err := s.mover.FillSync(req.Path, data); err != nil {
+	st := sp.StartChild("storage.fill")
+	err := s.mover.FillSync(req.Path, data)
+	st.SetError(err)
+	st.End()
+	if err != nil {
+		sp.SetError(err)
 		return StatusError, []byte(err.Error())
 	}
 	return rpc.StatusOK, nil
@@ -172,7 +196,7 @@ func (s *Server) handlePut(payload []byte) (uint16, []byte) {
 // stored in a single sharded NVMe pass. Each entry gets its own status
 // so one oversized object never fails its batch-mates; already-cached
 // paths are acknowledged without re-storing, like handlePut.
-func (s *Server) handlePutBatch(payload []byte) (uint16, []byte) {
+func (s *Server) handlePutBatch(payload []byte, connWait time.Duration) (uint16, []byte) {
 	var req PutBatchReq
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
@@ -184,12 +208,24 @@ func (s *Server) handlePutBatch(payload []byte) (uint16, []byte) {
 		resp := PutBatchResp{}
 		return rpc.StatusOK, resp.Marshal()
 	}
+	sp := trace.StartRemote("server.put_batch", trace.TraceID(req.Trace.TraceID), trace.SpanID(req.Trace.SpanID))
+	defer sp.End()
+	sp.Annotate("node", string(s.cfg.Node))
+	sp.AnnotateInt("entries", int64(len(req.Entries)))
+	if connWait > 0 {
+		sp.AnnotateDuration("conn_queue_ns", connWait)
+	}
 	if s.limiter != nil {
-		if !s.limiter.AcquireN(len(req.Entries)) {
+		ok, wait := s.limiter.AcquireNWait(len(req.Entries))
+		if !ok {
 			s.batchSheds.Add(1)
+			sp.SetErrorString("overloaded")
 			return StatusOverloaded, nil
 		}
 		defer s.limiter.ReleaseN(len(req.Entries))
+		if wait > 0 {
+			sp.AnnotateDuration("admission_wait_ns", wait)
+		}
 	}
 	// Collect the entries that actually need storing, remembering which
 	// request index each came from so statuses line up.
@@ -215,48 +251,97 @@ func (s *Server) handlePutBatch(payload []byte) (uint16, []byte) {
 		slab = append(slab, fills[i].Data...)
 		fills[i].Data = slab[start:len(slab):len(slab)]
 	}
+	failed := 0
 	if len(fills) > 0 {
+		st := sp.StartChild("storage.batch_fill")
+		st.AnnotateInt("fills", int64(len(fills)))
 		for j, err := range s.mover.FillBatchSync(fills) {
 			if err != nil {
 				statuses[idx[j]] = StatusError
+				failed++
 			}
 		}
+		if failed > 0 {
+			st.SetErrorString("partial batch failure")
+		}
+		st.End()
 	}
+	sp.AnnotateInt("failed", int64(failed))
 	resp := PutBatchResp{Statuses: statuses}
 	return rpc.StatusOK, resp.Marshal()
 }
 
 // handleRead is the paper's server read path: NVMe hit → serve; miss →
-// read PFS, serve, and enqueue an async cache fill.
-func (s *Server) handleRead(payload []byte) (uint16, []byte) {
+// read PFS, serve, and enqueue an async cache fill. connWait and
+// admissionWait are the two server-side queueing delays already paid
+// before this point; the span reports them so the client can attribute
+// its observed RPC time to queueing vs. storage.
+func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duration) (uint16, []byte) {
 	var req ReadReq
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
 	}
 	s.reads.Add(1)
+	sp := trace.StartRemote("server.read", trace.TraceID(req.Trace.TraceID), trace.SpanID(req.Trace.SpanID))
+	defer sp.End()
+	sp.Annotate("node", string(s.cfg.Node))
+	if connWait > 0 {
+		sp.AnnotateDuration("conn_queue_ns", connWait)
+	}
+	if admissionWait > 0 {
+		sp.AnnotateDuration("admission_wait_ns", admissionWait)
+	}
 	if s.device != nil {
+		// Device-slot wait is timed only for traced requests: the
+		// untraced path (sp == nil) must not pay the clock reads.
+		var t0 time.Time
+		if sp != nil {
+			t0 = time.Now()
+		}
 		s.device <- struct{}{}
+		if sp != nil {
+			sp.AnnotateDuration("device_wait_ns", time.Since(t0))
+		}
 		time.Sleep(s.cfg.ReadDelay)
 		<-s.device
 	}
+	st := sp.StartChild("storage.read")
 	source := SourceNVMe
 	data, err := s.nvme.Get(req.Path)
 	if err != nil {
 		data, err = s.pfs.Get(req.Path)
 		if err != nil {
+			st.SetErrorString("not found")
+			st.End()
+			sp.SetErrorString("not found")
 			return StatusNotFound, []byte(req.Path)
 		}
 		source = SourcePFS
 		s.pfsFallbacks.Add(1)
 		telemetry.TraceEvent(telemetry.EventPFSFallback, string(s.cfg.Node), req.Path, int64(len(data)))
-		s.mover.Enqueue(req.Path, data)
+		if s.mover.Enqueue(req.Path, data) {
+			st.Annotate("recache", "queued")
+		} else {
+			st.Annotate("recache", "dropped")
+		}
 	}
+	st.Annotate("source", sourceName(source))
+	st.End()
 	body, ok := slice(data, req.Offset, req.Length)
 	if !ok {
+		sp.SetErrorString("range out of bounds")
 		return StatusError, []byte("range out of bounds")
 	}
 	resp := ReadResp{Source: source, FileSize: int64(len(data)), Data: body}
 	return rpc.StatusOK, resp.Marshal()
+}
+
+// sourceName renders a read source for span annotations.
+func sourceName(source uint8) string {
+	if source == SourcePFS {
+		return "pfs"
+	}
+	return "nvme"
 }
 
 // slice extracts [off, off+length) of data; length < 0 means to EOF.

@@ -1,0 +1,250 @@
+package hvac
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// chaosCluster is a testCluster whose links run through a chaos
+// controller, so tests can arm faults and assert they surface in
+// traces.
+type chaosCluster struct {
+	ctl     *chaos.Controller
+	pfs     *storage.PFS
+	servers map[cluster.NodeID]*Server
+	nodes   []cluster.NodeID
+}
+
+func newChaosCluster(t *testing.T, seed int64, n int) *chaosCluster {
+	t.Helper()
+	cc := &chaosCluster{
+		ctl:     chaos.New(rpc.NewInprocNetwork(), chaos.Config{Seed: seed, DialTimeout: 50 * time.Millisecond}),
+		pfs:     storage.NewPFS(),
+		servers: make(map[cluster.NodeID]*Server),
+	}
+	for i := 0; i < n; i++ {
+		node := cluster.NodeID(fmt.Sprintf("node-%02d", i))
+		cc.nodes = append(cc.nodes, node)
+		srv := NewServer(ServerConfig{Node: node}, cc.pfs)
+		lis, err := cc.ctl.Network(string(node)).Listen(string(node))
+		if err != nil {
+			t.Fatalf("listen %s: %v", node, err)
+		}
+		go srv.Serve(lis)
+		cc.servers[node] = srv
+	}
+	t.Cleanup(func() {
+		for _, s := range cc.servers {
+			s.Close()
+		}
+	})
+	return cc
+}
+
+func (cc *chaosCluster) client(t *testing.T, clientName string, router Router) *Client {
+	t.Helper()
+	eps := make(map[cluster.NodeID]string, len(cc.nodes))
+	for _, n := range cc.nodes {
+		eps[n] = string(n)
+	}
+	c, err := NewClient(ClientConfig{
+		Endpoints:    eps,
+		Network:      cc.ctl.Network(clientName),
+		Router:       router,
+		PFS:          cc.pfs,
+		RPCTimeout:   2 * time.Second,
+		TimeoutLimit: 2,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// findSpan returns the first span named name in t, or nil.
+func findSpan(tr *trace.Trace, name string) *trace.SpanRecord {
+	for i := range tr.Spans {
+		if tr.Spans[i].Name == name {
+			return &tr.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestTraceChaosFaultAnnotated asserts the chaos->trace bridge: a
+// latency fault armed on the client->server link shows up as a
+// structural annotation on the rpc.read span of a request that crossed
+// the faulted link — the trace says not just "this leg was slow" but
+// "this leg was slow and a 5ms latency fault was armed on it".
+func TestTraceChaosFaultAnnotated(t *testing.T) {
+	rec := trace.Enable(64, 1)
+	defer trace.Disable()
+	_ = rec
+
+	cc := newChaosCluster(t, 1, 1)
+	body := []byte("traced-payload")
+	cc.pfs.Put("data/f1", body)
+	cc.servers["node-00"].NVMe().Put("data/f1", body)
+
+	c := cc.client(t, "cli", staticRouter{node: "node-00"})
+	cc.ctl.SetLatency("cli", "node-00", 5*time.Millisecond, time.Millisecond)
+
+	data, err := c.Read(context.Background(), "data/f1")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(data, body) {
+		t.Fatalf("read returned %q, want %q", data, body)
+	}
+
+	var rpcSpan *trace.SpanRecord
+	for _, tr := range rec.Snapshot() {
+		if tr.Remote {
+			continue
+		}
+		if sp := findSpan(tr, "rpc.read"); sp != nil {
+			rpcSpan = sp
+		}
+	}
+	if rpcSpan == nil {
+		t.Fatal("no client trace with an rpc.read span was recorded")
+	}
+	found := ""
+	for _, a := range rpcSpan.Annotations {
+		if a.Key == "chaos" {
+			found = a.Value
+		}
+	}
+	if !strings.HasPrefix(found, "latency=5ms") {
+		t.Fatalf("rpc.read chaos annotation = %q, want latency=5ms fault; annotations: %v",
+			found, rpcSpan.Annotations)
+	}
+}
+
+// TestTraceErrorRetentionUnderLoad asserts the flight recorder's
+// headline guarantee: error-class traces are retained 100% under a
+// volume of healthy traffic that overwrites the baseline ring many
+// times over. The errors live in their own ring, so no amount of
+// healthy load can evict them.
+func TestTraceErrorRetentionUnderLoad(t *testing.T) {
+	const (
+		capacity = 256
+		okReads  = 2000 // ~8x the baseline ring capacity
+		errReads = 100
+	)
+	rec := trace.Enable(capacity, 1)
+	defer trace.Disable()
+
+	tc := newTestCluster(t, 1)
+	body := []byte("retained-payload")
+	tc.pfs.Put("data/ok", body)
+	tc.servers["node-00"].NVMe().Put("data/ok", body)
+	c := tc.client(staticRouter{node: "node-00"}, time.Second)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < okReads/8; i++ {
+				if _, err := c.Read(ctx, "data/ok"); err != nil {
+					t.Errorf("ok read failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < errReads; i++ {
+		if _, err := c.Read(ctx, fmt.Sprintf("data/missing-%d", i)); err == nil {
+			t.Fatalf("read of missing path %d unexpectedly succeeded", i)
+		}
+	}
+	wg.Wait()
+
+	errRoots := 0
+	for _, tr := range rec.Snapshot() {
+		if tr.Err && !tr.Remote && tr.Root == "client.read" {
+			errRoots++
+		}
+	}
+	if errRoots != errReads {
+		t.Errorf("retained %d error-class client traces, want all %d", errRoots, errReads)
+	}
+	st := rec.Stats()
+	if st.ErrKept == 0 {
+		t.Error("recorder stats report zero error-class keeps")
+	}
+	t.Logf("recorder: offered=%d kept=%d errKept=%d tailKept=%d", st.Offered, st.Kept, st.ErrKept, st.TailKept)
+}
+
+// runSeededTraceScenario is one deterministic traced scenario: seeded
+// span ids, a single-node cluster behind a seeded chaos controller
+// with a latency fault armed, a fixed sequence of reads (three hits
+// and one miss), exported in canonical form.
+func runSeededTraceScenario(t *testing.T, seed int64) []byte {
+	trace.SeedIDs(seed)
+	rec := trace.Enable(256, 1)
+	defer trace.Disable()
+
+	cc := newChaosCluster(t, seed, 1)
+	paths := []string{"soak/a", "soak/b", "soak/c"}
+	for _, p := range paths {
+		body := []byte("content-" + p)
+		cc.pfs.Put(p, body)
+		cc.servers["node-00"].NVMe().Put(p, body)
+	}
+	c := cc.client(t, "cli", staticRouter{node: "node-00"})
+	cc.ctl.SetLatency("cli", "node-00", 5*time.Millisecond, 0)
+
+	ctx := context.Background()
+	for _, p := range paths {
+		if _, err := c.Read(ctx, p); err != nil {
+			t.Fatalf("read %s: %v", p, err)
+		}
+	}
+	if _, err := c.Read(ctx, "soak/missing"); err == nil {
+		t.Fatal("read of missing path unexpectedly succeeded")
+	}
+
+	out, err := trace.CanonicalJSON(rec.Snapshot())
+	if err != nil {
+		t.Fatalf("canonical export: %v", err)
+	}
+	return out
+}
+
+// TestTraceSeededReplayByteIdentical is the replay acceptance check:
+// the same seeded faulted scenario run twice exports byte-identical
+// canonical traces, and the artifact carries the injected-fault
+// annotation. Wall-clock timings, measured durations, and span ids all
+// differ between the runs; everything the canonical form keeps must
+// not.
+func TestTraceSeededReplayByteIdentical(t *testing.T) {
+	const seed = 7
+	run1 := runSeededTraceScenario(t, seed)
+	time.Sleep(3 * time.Millisecond) // shift wall clock between runs
+	run2 := runSeededTraceScenario(t, seed)
+
+	if !bytes.Equal(run1, run2) {
+		t.Errorf("canonical exports differ between identically seeded runs:\nrun1:\n%s\nrun2:\n%s", run1, run2)
+	}
+	if !bytes.Contains(run1, []byte("latency=5ms")) {
+		t.Errorf("canonical export does not carry the injected latency-fault annotation:\n%s", run1)
+	}
+	if !bytes.Contains(run1, []byte(`"root": "server.read"`)) && !bytes.Contains(run1, []byte(`"root":"server.read"`)) {
+		t.Errorf("canonical export carries no server-side fragment:\n%s", run1)
+	}
+}

@@ -1,0 +1,97 @@
+//go:build benchguard
+
+package hvac
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// benchTracedRead measures the client read path over an in-process
+// cluster under a uniform cached workload, with request tracing on or
+// off. Off is the shipping default: every instrumented site pays one
+// atomic load and nothing else — no clock reads, no allocation. On
+// uses the production sampling posture (flight recorder installed,
+// 1-in-64 creation-time sampling), so the measured delta is what an
+// operator buys into by flipping the gate.
+func benchTracedRead(b *testing.B, enabled bool) {
+	trace.SetEnabled(false)
+	if enabled {
+		rec := trace.Enable(trace.DefaultCapacity, 64)
+		rec.SetSampleRate(64)
+		defer trace.Disable()
+	}
+	tc := newLoadctlCluster(b, 2, ServerConfig{})
+	const files = 512
+	paths := make([]string, files)
+	for i := 0; i < files; i++ {
+		paths[i] = fmt.Sprintf("bench/f%d", i)
+		body := []byte(fmt.Sprintf("payload-%d", i))
+		tc.pfs.Put(paths[i], body)
+		tc.servers["node-00"].NVMe().Put(paths[i], body)
+	}
+	c := tc.client(ClientConfig{
+		Router:     newReplRouter(tc.nodes),
+		RPCTimeout: 2 * time.Second,
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(ctx, paths[i%files]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// TestTraceOverheadGuard fails when enabling request tracing costs more
+// than the guard threshold on the hot cached-read path. The documented
+// budget (DESIGN.md §14) is 5%; the guard trips at 30% because
+// single-shot in-process runs on shared CI machines jitter far more
+// than the budget, and the guard's job is to catch an accidental lock,
+// allocation, or unsampled clock read on the hot path, not to benchstat
+// a small drift.
+//
+// Gated behind the benchguard tag so ordinary `go test ./...` stays
+// fast and deterministic:
+//
+//	go test -tags benchguard -run TestTraceOverheadGuard ./internal/hvac/
+func TestTraceOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	// Interleave on/off pairs and keep the best of each: minimums are far
+	// more robust to scheduler noise than means on a shared runner, and
+	// alternating the two sides keeps slow background drift (GC state,
+	// CPU frequency, co-tenants) from loading onto one side only.
+	run := func(enabled bool) float64 {
+		r := testing.Benchmark(func(b *testing.B) { benchTracedRead(b, enabled) })
+		return float64(r.NsPerOp())
+	}
+	var on, off float64
+	for i := 0; i < 3; i++ {
+		var a, b float64
+		if i%2 == 0 { // alternate which side warms the pair
+			a = run(true)
+			b = run(false)
+		} else {
+			b = run(false)
+			a = run(true)
+		}
+		if on == 0 || a < on {
+			on = a
+		}
+		if off == 0 || b < off {
+			off = b
+		}
+	}
+	overhead := (on - off) / off
+	t.Logf("cached read: tracing on %.0f ns/op, off %.0f ns/op, overhead %+.1f%%", on, off, 100*overhead)
+	if overhead > 0.30 {
+		t.Errorf("tracing overhead %.1f%% exceeds 30%% guard threshold (budget is 5%% under benchstat conditions)", 100*overhead)
+	}
+}

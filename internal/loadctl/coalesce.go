@@ -23,6 +23,12 @@ type flight struct {
 	done chan struct{} // nil until a waiter joins (guarded by Group.mu)
 	data []byte
 	err  error
+	// token is an opaque caller tag the winner stamps at flight
+	// creation (under Group.mu) and followers read when they join —
+	// request tracing passes the leader's span id so a follower's trace
+	// names the flight it piggybacked on. Immutable while the flight is
+	// in the map.
+	token uint64
 }
 
 // Group coalesces concurrent identical reads: the first caller for a
@@ -75,18 +81,29 @@ func (f FetcherFunc) Fetch(ctx context.Context, key string) ([]byte, error) { re
 // canceled the shared error will reflect it, and waiters — whose
 // contexts may still be live — should retry.
 func (g *Group) Do(ctx context.Context, key string, fetch Fetcher) (data []byte, err error, shared bool) {
+	data, err, shared, _ = g.DoLinked(ctx, key, fetch, 0)
+	return data, err, shared
+}
+
+// DoLinked is Do with leader/follower linkage: the winner registers
+// token (an opaque tag — tracing passes its span id) on the flight, and
+// every caller gets back the flight's leader token. The winner sees its
+// own token; followers see the winner's, which is how a follower's
+// trace records *whose* flight it waited on.
+func (g *Group) DoLinked(ctx context.Context, key string, fetch Fetcher, token uint64) (data []byte, err error, shared bool, leader uint64) {
 	g.mu.Lock()
 	if f, ok := g.flights[key]; ok {
 		if f.done == nil {
 			f.done = make(chan struct{})
 		}
 		done := f.done
+		leader = f.token
 		g.mu.Unlock()
 		select {
 		case <-done:
-			return f.data, f.err, true
+			return f.data, f.err, true, leader
 		case <-ctx.Done():
-			return nil, ctx.Err(), true
+			return nil, ctx.Err(), true, leader
 		}
 	}
 	var f *flight
@@ -97,6 +114,7 @@ func (g *Group) Do(ctx context.Context, key string, fetch Fetcher) (data []byte,
 	} else {
 		f = &flight{err: ErrFlightAbandoned}
 	}
+	f.token = token
 	g.flights[key] = f
 	g.mu.Unlock()
 
@@ -122,7 +140,7 @@ func (g *Group) Do(ctx context.Context, key string, fetch Fetcher) (data []byte,
 		}
 	}()
 	f.data, f.err = fetch.Fetch(ctx, key)
-	return f.data, f.err, false
+	return f.data, f.err, false, token
 }
 
 // Inflight returns the number of open flights (for tests and debug).

@@ -54,30 +54,42 @@ func NewLimiter(limit, queue int, maxWait time.Duration) *Limiter {
 // should be shed: the queue is full, or no slot freed within maxWait.
 // Every true return must be paired with a Release.
 func (l *Limiter) Acquire() bool {
+	ok, _ := l.AcquireWait()
+	return ok
+}
+
+// AcquireWait is Acquire plus the admission-queue wait it cost: zero on
+// the uncontended fast path (measured without a clock read — request
+// tracing must not tax the path it observes), the measured queueing
+// delay when the request had to line up. The wait is reported on shed
+// requests too (how long the request was held before being turned
+// away).
+func (l *Limiter) AcquireWait() (bool, time.Duration) {
 	select {
 	case l.tokens <- struct{}{}:
 		l.admitted.Add(1)
-		return true
+		return true, 0
 	default:
 	}
 	select {
 	case l.waiters <- struct{}{}:
 	default:
 		l.shed.Add(1)
-		return false
+		return false, 0
 	}
 	l.queued.Add(1)
+	t0 := time.Now()
 	t := time.NewTimer(l.maxWait)
 	defer t.Stop()
 	select {
 	case l.tokens <- struct{}{}:
 		<-l.waiters
 		l.admitted.Add(1)
-		return true
+		return true, time.Since(t0)
 	case <-t.C:
 		<-l.waiters
 		l.shed.Add(1)
-		return false
+		return false, time.Since(t0)
 	}
 }
 
@@ -96,8 +108,15 @@ func (l *Limiter) Release() { <-l.tokens }
 // Every true return must be paired with ReleaseN(cost) for the same
 // cost.
 func (l *Limiter) AcquireN(cost int) bool {
+	ok, _ := l.AcquireNWait(cost)
+	return ok
+}
+
+// AcquireNWait is AcquireN plus the admission-queue wait it cost, with
+// the same zero-on-fast-path contract as AcquireWait.
+func (l *Limiter) AcquireNWait(cost int) (bool, time.Duration) {
 	if cost <= 1 {
-		return l.Acquire()
+		return l.AcquireWait()
 	}
 	if cap := cap(l.tokens); cost > cap {
 		cost = cap
@@ -111,7 +130,7 @@ func (l *Limiter) AcquireN(cost int) bool {
 		}
 	}
 	l.admitted.Add(1)
-	return true
+	return true, 0
 
 wait:
 	select {
@@ -119,10 +138,11 @@ wait:
 	default:
 		l.releaseHeld(held)
 		l.shed.Add(1)
-		return false
+		return false, 0
 	}
 	l.queued.Add(1)
 	{
+		t0 := time.Now()
 		t := time.NewTimer(l.maxWait)
 		defer t.Stop()
 		for held < cost {
@@ -133,13 +153,13 @@ wait:
 				<-l.waiters
 				l.releaseHeld(held)
 				l.shed.Add(1)
-				return false
+				return false, time.Since(t0)
 			}
 		}
+		<-l.waiters
+		l.admitted.Add(1)
+		return true, time.Since(t0)
 	}
-	<-l.waiters
-	l.admitted.Add(1)
-	return true
 }
 
 // ReleaseN returns the slots claimed by a successful AcquireN. cost

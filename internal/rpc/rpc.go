@@ -61,6 +61,17 @@ func (f HandlerFunc) Handle(op uint16, payload []byte) (uint16, []byte) {
 	return f(op, payload)
 }
 
+// WaitHandler is an optional extension a Handler may implement to
+// learn how long a request sat in the per-connection fan-out queue
+// (the serveConn concurrency semaphore) before its goroutine started.
+// Request tracing attributes that wait to the "queue" component of
+// p99; a plain Handler never sees it. connWait is zero when the
+// semaphore had a free slot (the common case — measured without a
+// clock read).
+type WaitHandler interface {
+	HandleWait(op uint16, payload []byte, connWait time.Duration) (status uint16, resp []byte)
+}
+
 // Server accepts framed-RPC connections and dispatches requests.
 type Server struct {
 	handler Handler
@@ -158,11 +169,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		req := f
-		sem <- struct{}{}
+		// Acquire a fan-out slot, timing the wait only when the fast
+		// path misses: the try-send costs no clock read, so an idle
+		// semaphore (the steady state) adds nothing to the hot path.
+		var connWait time.Duration
+		select {
+		case sem <- struct{}{}:
+		default:
+			t0 := time.Now()
+			sem <- struct{}{}
+			connWait = time.Since(t0)
+		}
 		go func() {
 			defer func() { <-sem }()
 			defer lease.Release()
-			status, resp := s.safeHandle(req.Op, req.Payload)
+			status, resp := s.safeHandle(req.Op, req.Payload, connWait)
 			if s.unresponsive.Load() {
 				return // became unresponsive while handling
 			}
@@ -189,13 +210,16 @@ func (s *Server) serveConn(conn net.Conn) {
 // that request.
 const StatusPanic uint16 = 0xFFFF
 
-func (s *Server) safeHandle(op uint16, payload []byte) (status uint16, resp []byte) {
+func (s *Server) safeHandle(op uint16, payload []byte, connWait time.Duration) (status uint16, resp []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			status = StatusPanic
 			resp = []byte(fmt.Sprintf("handler panic: %v", r))
 		}
 	}()
+	if wh, ok := s.handler.(WaitHandler); ok {
+		return wh.HandleWait(op, payload, connWait)
+	}
 	return s.handler.Handle(op, payload)
 }
 

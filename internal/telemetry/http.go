@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Handler serves the registry over HTTP:
@@ -13,6 +15,9 @@ import (
 //   - GET /debug/ftcache  — JSON snapshot: debug sections registered via
 //     RegisterDebug (server cache state, ring membership, …) plus the
 //     recent event trace (?events=N, default 128)
+//   - GET /debug/traces   — flight-recorder dump: retained request
+//     traces plus sampling stats (?max=N caps traces, ?canonical=1
+//     selects the byte-stable replay form)
 //
 // The handler is read-only and lock-light; ftcserver mounts it behind
 // an opt-in -metrics listen address.
@@ -34,6 +39,7 @@ func Handler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.DebugSnapshot(n))
 	})
+	mux.Handle("/debug/traces", trace.HTTPHandler())
 	return mux
 }
 

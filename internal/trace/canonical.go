@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+)
+
+// Canonical export: the replay artifact. A seeded chaos soak must
+// produce *byte-identical* trace output across runs, but raw traces
+// carry wall-clock starts, measured durations, and (unseeded) random
+// ids. The canonical form strips everything timing- or identity-
+// dependent and keeps only causal structure:
+//
+//   - ids, start times, and durations are dropped;
+//   - annotations whose key ends in "_ns" are dropped — by convention
+//     every measured-timing annotation (queue waits, leg latencies)
+//     uses that suffix, while structural annotations (node, path,
+//     status, fault descriptions) do not;
+//   - annotations whose key ends in "_id" are dropped for the same
+//     reason: they carry span/trace ids (e.g. the coalescer's
+//     leader_id linkage), which are identity, not structure;
+//   - spans are keyed by (name, parent *name*) rather than ids, and
+//     both spans and annotations are sorted.
+//
+// What remains — which spans ran, under whom, against which node, with
+// which faults and errors — is exactly what a deterministic scenario
+// reproduces bit-for-bit.
+
+// timingSuffix marks annotations carrying measured durations;
+// identitySuffix marks annotations carrying span/trace ids.
+const (
+	timingSuffix   = "_ns"
+	identitySuffix = "_id"
+)
+
+// CanonicalSpan is one span in canonical form.
+type CanonicalSpan struct {
+	Name        string       `json:"name"`
+	Parent      string       `json:"parent,omitempty"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+	Err         string       `json:"err,omitempty"`
+}
+
+// CanonicalTrace is one trace in canonical form.
+type CanonicalTrace struct {
+	Root   string          `json:"root"`
+	Remote bool            `json:"remote,omitempty"`
+	Err    bool            `json:"err,omitempty"`
+	Spans  []CanonicalSpan `json:"spans"`
+}
+
+// Canonicalize reduces t to its canonical form.
+func Canonicalize(t *Trace) CanonicalTrace {
+	names := make(map[SpanID]string, len(t.Spans))
+	for _, s := range t.Spans {
+		names[s.ID] = s.Name
+	}
+	spans := make([]CanonicalSpan, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		cs := CanonicalSpan{
+			Name:   s.Name,
+			Parent: names[s.Parent], // "" for roots and remote parents
+			Err:    s.Err,
+		}
+		for _, a := range s.Annotations {
+			if strings.HasSuffix(a.Key, timingSuffix) || strings.HasSuffix(a.Key, identitySuffix) {
+				continue
+			}
+			cs.Annotations = append(cs.Annotations, a)
+		}
+		sort.SliceStable(cs.Annotations, func(i, j int) bool {
+			if cs.Annotations[i].Key != cs.Annotations[j].Key {
+				return cs.Annotations[i].Key < cs.Annotations[j].Key
+			}
+			return cs.Annotations[i].Value < cs.Annotations[j].Value
+		})
+		spans = append(spans, cs)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spanLess(spans[i], spans[j]) })
+	return CanonicalTrace{Root: t.Root, Remote: t.Remote, Err: t.Err, Spans: spans}
+}
+
+func spanLess(a, b CanonicalSpan) bool {
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.Parent != b.Parent {
+		return a.Parent < b.Parent
+	}
+	if a.Err != b.Err {
+		return a.Err < b.Err
+	}
+	return annotKey(a.Annotations) < annotKey(b.Annotations)
+}
+
+func annotKey(as []Annotation) string {
+	var sb strings.Builder
+	for _, a := range as {
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Value)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// CanonicalJSON renders traces in canonical form as deterministic
+// JSON: each trace canonicalized, then the set sorted by its encoded
+// bytes. Two runs of the same seeded scenario produce identical
+// output.
+func CanonicalJSON(ts []*Trace) ([]byte, error) {
+	encoded := make([]json.RawMessage, 0, len(ts))
+	for _, t := range ts {
+		b, err := json.Marshal(Canonicalize(t))
+		if err != nil {
+			return nil, err
+		}
+		encoded = append(encoded, b)
+	}
+	sort.Slice(encoded, func(i, j int) bool { return string(encoded[i]) < string(encoded[j]) })
+	return json.MarshalIndent(encoded, "", "  ")
+}

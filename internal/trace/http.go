@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DebugPayload is the JSON shape of /debug/traces.
+type DebugPayload struct {
+	Now     time.Time `json:"now"`
+	Enabled bool      `json:"enabled"`
+	Stats   *Stats    `json:"stats,omitempty"`
+	Traces  []*Trace  `json:"traces"`
+}
+
+// DebugSnapshot materializes the /debug/traces payload from the active
+// recorder: up to max kept traces (0 = all), newest last.
+func DebugSnapshot(max int) DebugPayload {
+	out := DebugPayload{Now: time.Now(), Enabled: Enabled(), Traces: []*Trace{}}
+	r := ActiveRecorder()
+	if r == nil {
+		return out
+	}
+	st := r.Stats()
+	out.Stats = &st
+	out.Traces = r.Snapshot()
+	if max > 0 && len(out.Traces) > max {
+		out.Traces = out.Traces[len(out.Traces)-max:]
+	}
+	return out
+}
+
+// HTTPHandler serves the flight recorder as JSON:
+//
+//   - GET /debug/traces            — retention stats plus kept traces
+//     (?max=N caps the count, newest kept)
+//   - GET /debug/traces?canonical=1 — the canonical (timing-stripped,
+//     deterministically ordered) form used by replay comparisons
+//
+// telemetry.Handler mounts it next to /metrics and /debug/ftcache.
+func HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		max := 0
+		if s := req.URL.Query().Get("max"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				max = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("canonical") != "" {
+			b, err := CanonicalJSON(DebugSnapshot(max).Traces)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			_, _ = w.Write(b)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(DebugSnapshot(max))
+	})
+}

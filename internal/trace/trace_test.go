@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// withRecorder installs a fresh enabled recorder for one test and
+// restores the disabled state afterward.
+func withRecorder(t *testing.T, capacity, headRate int) *Recorder {
+	t.Helper()
+	r := Enable(capacity, headRate)
+	t.Cleanup(Disable)
+	return r
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	ctx, root := StartTrace(context.Background(), "client.read")
+	if root != nil {
+		t.Fatalf("StartTrace with tracing disabled returned %v, want nil", root)
+	}
+	if _, _, ok := ContextIDs(ctx); ok {
+		t.Fatal("ContextIDs reported a live span with tracing disabled")
+	}
+	// Every method must be nil-safe.
+	_, child := StartSpan(ctx, "child")
+	child.Annotate("k", "v")
+	child.AnnotateInt("n", 1)
+	child.AnnotateDuration("d_ns", time.Millisecond)
+	child.SetError(errors.New("boom"))
+	child.SetErrorString("boom")
+	child.End()
+	root.StartChild("x").End()
+	root.End()
+	if StartRemote("server.read", 1, 2) != nil {
+		t.Fatal("StartRemote with tracing disabled returned a span")
+	}
+}
+
+func TestSpanTreeAndRecording(t *testing.T) {
+	rec := withRecorder(t, 16, 1)
+	SeedIDs(42)
+
+	ctx, root := StartTrace(context.Background(), "client.read")
+	if root == nil {
+		t.Fatal("StartTrace returned nil with tracing enabled")
+	}
+	tid, sid, ok := ContextIDs(ctx)
+	if !ok || tid == 0 || sid != root.ID() {
+		t.Fatalf("ContextIDs = (%d, %d, %v), want root ids", tid, sid, ok)
+	}
+	cctx, attempt := StartSpan(ctx, "read.attempt")
+	attempt.Annotate("node", "n1")
+	_, rpc := StartSpan(cctx, "rpc.read")
+	rpc.AnnotateInt("status", 0)
+	rpc.End()
+	attempt.End()
+	root.End()
+
+	traces := rec.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != tid || tr.Root != "client.read" || tr.Remote || tr.Err {
+		t.Fatalf("trace = %+v, want id %d root client.read local ok", tr, tid)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(tr.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = s
+	}
+	if byName["read.attempt"].Parent != root.ID() {
+		t.Fatalf("read.attempt parent = %d, want root %d", byName["read.attempt"].Parent, root.ID())
+	}
+	if byName["rpc.read"].Parent != byName["read.attempt"].ID {
+		t.Fatal("rpc.read is not a child of read.attempt")
+	}
+	if got := byName["read.attempt"].Annotations; len(got) != 1 || got[0].Key != "node" || got[0].Value != "n1" {
+		t.Fatalf("read.attempt annotations = %v", got)
+	}
+}
+
+func TestEndIdempotentAndLateChildDropped(t *testing.T) {
+	rec := withRecorder(t, 16, 1)
+
+	ctx, root := StartTrace(context.Background(), "client.read")
+	_, leg := StartSpan(ctx, "read.leg")
+	root.End()
+	root.End() // idempotent: must not offer twice
+	leg.End()  // abandoned hedge leg ends after the root sealed
+
+	traces := rec.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	if n := len(traces[0].Spans); n != 1 {
+		t.Fatalf("sealed trace has %d spans, want 1 (late leg dropped)", n)
+	}
+}
+
+func TestRemoteFragment(t *testing.T) {
+	rec := withRecorder(t, 16, 1)
+
+	s := StartRemote("server.read", 7, 9)
+	if s == nil {
+		t.Fatal("StartRemote returned nil with tracing enabled")
+	}
+	st := s.StartChild("storage.read")
+	st.Annotate("source", "nvme")
+	st.End()
+	s.End()
+
+	if s := StartRemote("server.read", 0, 0); s != nil {
+		t.Fatal("StartRemote with zero trace id returned a span")
+	}
+
+	traces := rec.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID != 7 || !tr.Remote {
+		t.Fatalf("fragment = id %d remote %v, want id 7 remote", tr.ID, tr.Remote)
+	}
+	for _, sp := range tr.Spans {
+		if sp.Name == "server.read" && sp.Parent != 9 {
+			t.Fatalf("server.read parent = %d, want the client's span id 9", sp.Parent)
+		}
+	}
+}
+
+func TestErrorClassAlwaysKept(t *testing.T) {
+	rec := withRecorder(t, 1024, 1<<20) // head rate so high nothing passes by head alone
+
+	const n = 500
+	errs := 0
+	for i := 0; i < n; i++ {
+		ctx, root := StartTrace(context.Background(), "client.read")
+		if i%10 == 0 {
+			_, leg := StartSpan(ctx, "rpc.read")
+			leg.SetError(errors.New("conn reset"))
+			leg.End()
+			errs++
+		}
+		root.End()
+	}
+	st := rec.Stats()
+	if st.Offered != n {
+		t.Fatalf("offered = %d, want %d", st.Offered, n)
+	}
+	if st.ErrKept != uint64(errs) {
+		t.Fatalf("error-class kept %d of %d", st.ErrKept, errs)
+	}
+	got := 0
+	for _, tr := range rec.Snapshot() {
+		if tr.Err {
+			got++
+		}
+	}
+	if got != errs {
+		t.Fatalf("snapshot holds %d error traces, want all %d", got, errs)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	rec := withRecorder(t, 4096, 4)
+	SeedIDs(1)
+
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_, root := StartTrace(context.Background(), "client.read")
+		root.End()
+	}
+	st := rec.Stats()
+	// TraceID mod 4: splitmix64 output is uniform, expect ~n/4 kept
+	// (plus whatever tail sampling retains once its threshold forms).
+	if st.Kept < n/8 || st.Kept > n/2 {
+		t.Fatalf("head sampling kept %d of %d at rate 4", st.Kept, n)
+	}
+}
+
+func TestTailSamplingKeepsSlowTraces(t *testing.T) {
+	rec := withRecorder(t, 4096, 1<<20) // head sampling effectively off
+
+	// Feed enough fast offers to establish a p99 threshold, then offer
+	// a slow outlier directly (synthetic durations — Offer is the unit
+	// under test, End would measure real time).
+	for i := 0; i < 2*histRecompute; i++ {
+		rec.Offer(&Trace{ID: TraceID(i + 1), Root: "client.read", Duration: time.Millisecond})
+	}
+	st := rec.Stats()
+	if st.TailCutoff <= 0 {
+		t.Fatalf("tail cutoff not established after %d offers", st.Offered)
+	}
+	slow := &Trace{ID: 999999, Root: "client.read", Duration: 500 * time.Millisecond}
+	before := rec.Stats().TailKept
+	rec.Offer(slow)
+	if rec.Stats().TailKept != before+1 {
+		t.Fatal("slow outlier was not tail-sampled")
+	}
+	found := false
+	for _, tr := range rec.Snapshot() {
+		if tr.ID == slow.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tail-sampled trace missing from snapshot")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	rec := withRecorder(t, 4, 1)
+	for i := 0; i < 10; i++ {
+		_, root := StartTrace(context.Background(), fmt.Sprintf("t%d", i))
+		root.End()
+	}
+	traces := rec.Snapshot()
+	if len(traces) != 4 {
+		t.Fatalf("ring holds %d traces, want capacity 4", len(traces))
+	}
+}
+
+func TestSeedIDsDeterministic(t *testing.T) {
+	SeedIDs(123)
+	a, b := nextID(), nextID()
+	SeedIDs(123)
+	if x := nextID(); x != a {
+		t.Fatalf("first id after reseed = %d, want %d", x, a)
+	}
+	if x := nextID(); x != b {
+		t.Fatalf("second id after reseed = %d, want %d", x, b)
+	}
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("ids not distinct non-zero: %d %d", a, b)
+	}
+}
+
+// runScenario performs one deterministic traced request mix and
+// returns the canonical export.
+func runScenario(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rec := Enable(64, 1)
+	defer Disable()
+	SeedIDs(seed)
+
+	for i := 0; i < 3; i++ {
+		ctx, root := StartTrace(context.Background(), "client.read")
+		root.Annotate("path", fmt.Sprintf("/data/f%d", i))
+		cctx, attempt := StartSpan(ctx, "read.attempt")
+		attempt.Annotate("node", "n1")
+		attempt.AnnotateDuration("leg_ns", time.Duration(1000+i)) // timing: stripped
+		_, rpc := StartSpan(cctx, "rpc.read")
+		rpc.Annotate("chaos", "latency=5ms")
+		if i == 2 {
+			rpc.SetErrorString("timeout")
+		}
+		rpc.End()
+		attempt.End()
+		root.End()
+	}
+	b, err := CanonicalJSON(rec.Snapshot())
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	return b
+}
+
+func TestCanonicalExportDeterministic(t *testing.T) {
+	a := runScenario(t, 7)
+	time.Sleep(2 * time.Millisecond) // shift wall clock: must not matter
+	b := runScenario(t, 7)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical export differs across identical seeded runs:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte("latency=5ms")) {
+		t.Fatal("canonical export lost the chaos annotation")
+	}
+	if bytes.Contains(a, []byte("leg_ns")) {
+		t.Fatal("canonical export kept a timing annotation")
+	}
+	if bytes.Contains(a, []byte("trace_id")) || bytes.Contains(a, []byte("duration")) {
+		t.Fatal("canonical export kept ids or durations")
+	}
+}
+
+func TestConcurrentSpanEnds(t *testing.T) {
+	rec := withRecorder(t, 256, 1)
+	const traces = 50
+	done := make(chan struct{}, traces)
+	for i := 0; i < traces; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ctx, root := StartTrace(context.Background(), "client.read")
+			legs := make(chan struct{}, 4)
+			for l := 0; l < 4; l++ {
+				go func(l int) {
+					_, leg := StartSpan(ctx, "read.leg")
+					leg.AnnotateInt("leg", int64(l))
+					leg.End()
+					legs <- struct{}{}
+				}(l)
+			}
+			for l := 0; l < 4; l++ {
+				<-legs
+			}
+			root.End()
+		}()
+	}
+	for i := 0; i < traces; i++ {
+		<-done
+	}
+	if got := len(rec.Snapshot()); got != traces {
+		t.Fatalf("recorded %d traces, want %d", got, traces)
+	}
+	for _, tr := range rec.Snapshot() {
+		if len(tr.Spans) != 5 {
+			t.Fatalf("trace has %d spans, want 5", len(tr.Spans))
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package wire
+
+// Trace context extension: an optional, versioned trailer a request
+// payload may carry so a server can stitch its handler spans under the
+// client's request span. The extension rides *inside* the opaque frame
+// payload (after the message's own fields), so the frame format — and
+// every peer that does not understand tracing — is untouched: absent
+// means zero cost, and an old decoder that ignores trailing bytes keeps
+// working.
+//
+// Encoding (little-endian, appended after the message fields):
+//
+//	offset size field
+//	0      1    extension version (currently 1)
+//	1      1    body length in bytes (16 for version 1)
+//	2      n    body — v1: trace id (u64), parent span id (u64)
+//
+// The explicit body length makes unknown versions skippable: a decoder
+// that sees a future version steps over the body and carries on. A
+// truncated or malformed extension is a decode error — corrupt trailers
+// must never be silently folded into application data.
+
+// TraceExtVersion is the current trace-extension version.
+const TraceExtVersion = 1
+
+// traceExtV1Body is the v1 body size: two u64 ids.
+const traceExtV1Body = 16
+
+// TraceExt is a decoded trace-context extension. The zero value (both
+// ids zero) means "absent" — id generators never mint a zero trace id.
+type TraceExt struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the extension carries a trace context.
+func (x TraceExt) Valid() bool { return x.TraceID != 0 }
+
+// AppendTraceExt appends x to e in extension wire form. Callers append
+// it after the message's own fields, and only when x is valid.
+func (e *Buffer) AppendTraceExt(x TraceExt) *Buffer {
+	e.U8(TraceExtVersion)
+	e.U8(traceExtV1Body)
+	e.U64(x.TraceID)
+	e.U64(x.SpanID)
+	return e
+}
+
+// TraceExtSize is the encoded size of a v1 extension (for capacity
+// hints).
+const TraceExtSize = 2 + traceExtV1Body
+
+// DecodeTraceExt consumes the optional trace extension at the reader's
+// current position. Contract, in order:
+//
+//   - no bytes remain → (zero, false), no error: the extension is absent;
+//   - a well-formed extension of an unknown version → skipped, (zero,
+//     false): forward compatibility, old nodes ignore new trailers;
+//   - a v1 extension with a short body, a body length past the payload
+//     end, or any trailing bytes after the extension → the reader's
+//     sticky error is set: corrupt trailers are rejected, never folded
+//     into application data.
+//
+// Decoders call this after their own fields when Remaining() > 0 and
+// then check Err() as usual.
+func (d *Reader) DecodeTraceExt() (TraceExt, bool) {
+	if d.err != nil || d.Remaining() == 0 {
+		return TraceExt{}, false
+	}
+	ver := d.U8()
+	n := int(d.U8())
+	body := d.take(n)
+	if d.err != nil {
+		return TraceExt{}, false
+	}
+	if d.Remaining() != 0 {
+		// At most one extension may trail a payload; anything after it
+		// is corruption.
+		d.err = ErrTruncated
+		return TraceExt{}, false
+	}
+	if ver != TraceExtVersion {
+		return TraceExt{}, false // unknown version: skipped, not an error
+	}
+	if n < traceExtV1Body {
+		d.err = ErrTruncated
+		return TraceExt{}, false
+	}
+	// Bytes beyond the v1 ids are tolerated (a future minor revision may
+	// grow the body without bumping the version).
+	sub := Reader{b: body}
+	x := TraceExt{TraceID: sub.U64(), SpanID: sub.U64()}
+	return x, true
+}
