@@ -1,0 +1,307 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftcache"
+	"repro/internal/hvac"
+	"repro/internal/workload"
+)
+
+// memtierConfig parameterizes the RAM-tier A/B benchmark: two identical
+// Zipf-skewed runs against the same per-node memory budget, once with
+// the whole budget as NVMe cache and once with a slice carved out for
+// the in-memory hot-object tier.
+type memtierConfig struct {
+	nodes        int
+	clients      int
+	files        int
+	fileBytes    int64
+	duration     time.Duration
+	seed         int64
+	skew         float64
+	ramFrac      float64       // fraction of the per-node budget given to RAM in the ON phase
+	budget       int64         // per-node memory budget; 0 = files*fileBytes
+	serviceDelay time.Duration // simulated NVMe device service time
+	out          string        // JSON result path ('' = stdout only)
+}
+
+// memtierHotK is how many of the lowest (hottest) Zipf file indices
+// count as "hot" when splitting latency percentiles. With skew 1.1 over
+// hundreds of files the top 16 indices carry most of the traffic, so
+// their p50 is the number the RAM tier is built to move.
+const memtierHotK = 16
+
+// memtierPhase is one side of the A/B, serialized into
+// results/BENCH_memtier.json.
+type memtierPhase struct {
+	RAMTier     bool    `json:"ram_tier"`
+	RAMBytes    int64   `json:"ram_capacity"`
+	NVMeBytes   int64   `json:"nvme_capacity"`
+	Reads       int64   `json:"reads"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	HotP50Us    float64 `json:"hot_p50_us"`
+	HotP99Us    float64 `json:"hot_p99_us"`
+	ServedRAM   int64   `json:"served_ram"`
+	ServedNVMe  int64   `json:"served_nvme"`
+	ServedPFS   int64   `json:"served_pfs"`
+}
+
+type memtierReport struct {
+	Bench          string       `json:"bench"`
+	Nodes          int          `json:"nodes"`
+	Clients        int          `json:"clients"`
+	Files          int          `json:"files"`
+	FileBytes      int64        `json:"file_bytes"`
+	Skew           float64      `json:"skew"`
+	Budget         int64        `json:"node_budget_bytes"`
+	RAMSlice       int64        `json:"ram_slice_bytes"`
+	HotK           int          `json:"hot_k"`
+	ServiceDelayUs float64      `json:"service_delay_us"`
+	Seconds        float64      `json:"seconds_per_phase"`
+	Seed           int64        `json:"seed"`
+	Off            memtierPhase `json:"tier_off"`
+	On             memtierPhase `json:"tier_on"`
+	HotP50Speedup  float64      `json:"hot_p50_speedup"`
+}
+
+// runMemtierAB answers the tiering question with one command: does
+// carving a RAM slice out of the same per-node memory budget buy hot
+// reads a measurable p50 drop, or would those bytes have been worth
+// more as NVMe capacity? Both phases stage, warm and measure the same
+// Zipf workload with the same seed; only the budget split differs.
+//
+//	ftcbench -memtier -skew 1.1 -duration 3s
+func runMemtierAB(cfg memtierConfig) error {
+	if cfg.nodes < 1 || cfg.clients < 1 || cfg.files < 1 {
+		return fmt.Errorf("-nodes, -clients and -files must all be >= 1")
+	}
+	if cfg.skew <= 0 {
+		return fmt.Errorf("-memtier needs a skewed workload (-skew > 0); a uniform pattern has no hot set to promote")
+	}
+	if cfg.ramFrac <= 0 || cfg.ramFrac >= 1 {
+		return fmt.Errorf("-ramfrac must be in (0,1), got %g", cfg.ramFrac)
+	}
+	if cfg.budget <= 0 {
+		// Default per-node budget: the full dataset. Each node only owns
+		// ~1/nodes of it under the ring, so NVMe is comfortably sized in
+		// both phases and the A/B isolates the tier's latency effect
+		// rather than a capacity cliff.
+		cfg.budget = int64(cfg.files) * cfg.fileBytes
+		if cfg.budget < 1<<16 {
+			cfg.budget = 1 << 16
+		}
+	}
+	ramSlice := int64(float64(cfg.budget) * cfg.ramFrac)
+
+	fmt.Printf("memtier A/B: %d nodes, %d clients, %d files x %d B, %s/phase, skew=%.2f servicedelay=%s\n",
+		cfg.nodes, cfg.clients, cfg.files, cfg.fileBytes, cfg.duration, cfg.skew, cfg.serviceDelay)
+	fmt.Printf("  per-node budget %d B: off = nvme %d | on = ram %d + nvme %d\n",
+		cfg.budget, cfg.budget, ramSlice, cfg.budget-ramSlice)
+
+	off, err := runMemtierPhase(cfg, 0, cfg.budget)
+	if err != nil {
+		return fmt.Errorf("tier-off phase: %w", err)
+	}
+	on, err := runMemtierPhase(cfg, ramSlice, cfg.budget-ramSlice)
+	if err != nil {
+		return fmt.Errorf("tier-on phase: %w", err)
+	}
+
+	rep := memtierReport{
+		Bench:          "memtier_ab",
+		Nodes:          cfg.nodes,
+		Clients:        cfg.clients,
+		Files:          cfg.files,
+		FileBytes:      cfg.fileBytes,
+		Skew:           cfg.skew,
+		Budget:         cfg.budget,
+		RAMSlice:       ramSlice,
+		HotK:           memtierHotK,
+		ServiceDelayUs: float64(cfg.serviceDelay) / float64(time.Microsecond),
+		Seconds:        cfg.duration.Seconds(),
+		Seed:           cfg.seed,
+		Off:            off,
+		On:             on,
+	}
+	if on.HotP50Us > 0 {
+		rep.HotP50Speedup = off.HotP50Us / on.HotP50Us
+	}
+
+	fmt.Printf("\n  %-22s %14s %14s\n", "", "tier off", "tier on")
+	row := func(label, format string, a, b any) {
+		fmt.Printf("  %-22s %14s %14s\n", label, fmt.Sprintf(format, a), fmt.Sprintf(format, b))
+	}
+	row("reads/sec", "%.0f", off.ReadsPerSec, on.ReadsPerSec)
+	row("read p50", "%s", usDur(off.P50Us), usDur(on.P50Us))
+	row("read p99", "%s", usDur(off.P99Us), usDur(on.P99Us))
+	row(fmt.Sprintf("hot p50 (top %d)", memtierHotK), "%s", usDur(off.HotP50Us), usDur(on.HotP50Us))
+	row(fmt.Sprintf("hot p99 (top %d)", memtierHotK), "%s", usDur(off.HotP99Us), usDur(on.HotP99Us))
+	row("served ram", "%d", off.ServedRAM, on.ServedRAM)
+	row("served nvme", "%d", off.ServedNVMe, on.ServedNVMe)
+	row("served pfs", "%d", off.ServedPFS, on.ServedPFS)
+	fmt.Printf("  hot p50 speedup        %.2fx\n", rep.HotP50Speedup)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if cfg.out != "" {
+		if err := os.MkdirAll(filepath.Dir(cfg.out), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", cfg.out)
+	} else {
+		fmt.Println(string(blob))
+	}
+	return nil
+}
+
+// latSample is one measured read: its wall latency and whether the file
+// index falls in the hot head of the Zipf distribution.
+type latSample struct {
+	d   time.Duration
+	hot bool
+}
+
+// runMemtierPhase boots a fresh cluster with the given tier split,
+// stages and warms the dataset, then drives the Zipf workload for
+// cfg.duration, recording per-read latencies in-process for exact
+// (non-bucketed) percentiles. The first quarter of the window is an
+// unrecorded warm-up so the ON phase measures the steady state after
+// sketch-driven promotion, not the promotion transient.
+func runMemtierPhase(cfg memtierConfig, ramCap, nvmeCap int64) (memtierPhase, error) {
+	ph := memtierPhase{RAMTier: ramCap > 0, RAMBytes: ramCap, NVMeBytes: nvmeCap}
+	c, err := core.NewCluster(core.ClusterConfig{
+		Nodes:        cfg.nodes,
+		Strategy:     ftcache.KindNVMe,
+		NVMeCapacity: nvmeCap,
+		RAMCapacity:  ramCap,
+		ReadDelay:    cfg.serviceDelay,
+	})
+	if err != nil {
+		return ph, err
+	}
+	defer c.Close()
+
+	ds := workload.Dataset{
+		Name:      "memtier",
+		Prefix:    "memtier",
+		NumFiles:  cfg.files,
+		FileBytes: cfg.fileBytes,
+	}
+	if _, err := c.Stage(ds); err != nil {
+		return ph, err
+	}
+	if err := c.WarmCache(ds); err != nil {
+		return ph, err
+	}
+	c.FlushMovers()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []latSample
+	)
+	ctx := context.Background()
+	stop := make(chan struct{})
+	errCh := make(chan error, cfg.clients)
+	start := time.Now()
+	warmEnd := start.Add(cfg.duration / 4)
+	clients := make([]*hvac.Client, 0, cfg.clients)
+	for w := 0; w < cfg.clients; w++ {
+		cli, _, err := c.NewClient()
+		if err != nil {
+			return ph, err
+		}
+		clients = append(clients, cli)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			z := workload.NewZipf(cfg.skew, cfg.files, cfg.seed+int64(w))
+			local := make([]latSample, 0, 1<<14)
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					samples = append(samples, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				idx := z.Next()
+				t0 := time.Now()
+				if _, err := cli.Read(ctx, ds.FilePath(idx)); err != nil {
+					errCh <- fmt.Errorf("client %d: %w", w, err)
+					return
+				}
+				if t0.After(warmEnd) {
+					local = append(local, latSample{d: time.Since(t0), hot: idx < memtierHotK})
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.duration)
+	close(stop)
+	wg.Wait()
+	measured := time.Since(warmEnd)
+	select {
+	case err := <-errCh:
+		return ph, err
+	default:
+	}
+	for _, cli := range clients {
+		st := cli.Stats()
+		ph.ServedRAM += st.ServedRAM
+		ph.ServedNVMe += st.ServedNVMe
+		ph.ServedPFS += st.ServedPFS + st.DirectPFS
+		cli.Close()
+	}
+
+	all := make([]time.Duration, 0, len(samples))
+	hot := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		all = append(all, s.d)
+		if s.hot {
+			hot = append(hot, s.d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	ph.Reads = int64(len(all))
+	ph.ReadsPerSec = float64(len(all)) / measured.Seconds()
+	ph.P50Us = exactQuantileUs(all, 0.5)
+	ph.P99Us = exactQuantileUs(all, 0.99)
+	ph.HotP50Us = exactQuantileUs(hot, 0.5)
+	ph.HotP99Us = exactQuantileUs(hot, 0.99)
+	return ph, nil
+}
+
+// exactQuantileUs reads quantile q out of an already-sorted latency
+// slice, in microseconds. Exact order statistics, not histogram
+// interpolation: the A/B is about small p50 shifts that bucketed
+// quantiles would smear.
+func exactQuantileUs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+func usDur(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(100 * time.Nanosecond).String()
+}

@@ -8,6 +8,7 @@
 //	ftcctl -servers ... ring path/a path/b
 //	ftcctl -servers ... ping
 //	ftcctl trace http://host0:9090 http://host1:9090   # fetch /debug/traces, stitch by trace id
+//	ftcctl tiers http://host0:9090 http://host1:9090   # per-node storage-tier occupancy + hit ratios
 package main
 
 import (
@@ -46,7 +47,7 @@ func main() {
 	}
 
 	if flag.NArg() < 1 {
-		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args] | ftcctl trace <telemetry-url>..."))
+		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args] | ftcctl <trace|tiers> <telemetry-url>..."))
 	}
 
 	// trace talks to telemetry HTTP endpoints, not the RPC fleet, so it
@@ -57,6 +58,19 @@ func main() {
 			fail(fmt.Errorf("usage: ftcctl trace <telemetry-url>...  (e.g. ftcctl trace http://host0:9090 http://host1:9090)"))
 		}
 		if err := runTrace(urls, *traceMax, *traceErrs); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	// tiers likewise reads telemetry endpoints: the per-node storage-tier
+	// occupancy and hit-ratio table from each node's /debug/ftcache.
+	if flag.Arg(0) == "tiers" {
+		urls := flag.Args()[1:]
+		if len(urls) == 0 {
+			fail(fmt.Errorf("usage: ftcctl tiers <telemetry-url>...  (e.g. ftcctl tiers http://host0:9090 http://host1:9090)"))
+		}
+		if err := runTiers(urls); err != nil {
 			fail(err)
 		}
 		return
@@ -169,8 +183,8 @@ func runBench(ctx context.Context, cli *hvac.Client, paths []string, iters int) 
 	fmt.Printf("latency ms: mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		lat.Mean, lat.P50, lat.P95, lat.P99, lat.Max)
 	st := cli.Stats()
-	fmt.Printf("sources:    nvme=%d server-pfs=%d direct-pfs=%d\n",
-		st.ServedNVMe, st.ServedPFS, st.DirectPFS)
+	fmt.Printf("sources:    ram=%d nvme=%d server-pfs=%d direct-pfs=%d\n",
+		st.ServedRAM, st.ServedNVMe, st.ServedPFS, st.DirectPFS)
 }
 
 func ownerOf(router hvac.Router, path string) (string, string) {

@@ -1,7 +1,14 @@
-// Package poollease enforces the wire buffer-pool lease discipline
-// (DESIGN.md §8): every successful wire.ReadFramePooled call returns a
-// *wire.Buf lease that must reach Release exactly once, and the frame
-// payload aliasing the lease must not be used after the release.
+// Package poollease enforces the pooled-lease discipline (DESIGN.md
+// §8, §15) over both lease-returning APIs:
+//
+//   - wire.ReadFramePooled: every successful call returns a *wire.Buf
+//     lease that must reach Release exactly once, and the frame payload
+//     aliasing the lease must not be used after the release;
+//   - (*memtier.Tier).Get: every ok==true hit returns a *memtier.Lease
+//     that must reach Release exactly once — or be handed off, most
+//     commonly as a Release method value stored into an
+//     rpc.LeasedResp{Release: lease.Release} composite literal, which
+//     transfers the obligation to the RPC flush path.
 //
 // The check is a path-sensitive walk of the acquiring function's body:
 //
@@ -11,7 +18,8 @@
 //     returned, or captured by a goroutine/closure that releases it);
 //   - paths through an `if err != nil` guard on the acquisition's own
 //     error are exempt — ReadFramePooled documents that on error the
-//     lease is already released and nil;
+//     lease is already released and nil; for Tier.Get the exempt paths
+//     are the ok==false branches (a miss returns no lease);
 //   - after an inline (non-deferred) Release, any further use of the
 //     lease or the frame variable on that path is reported;
 //   - returning the frame variable while the lease is released (or
@@ -39,7 +47,7 @@ import (
 // Analyzer is the poollease pass.
 var Analyzer = &ftc.Analyzer{
 	Name: "poollease",
-	Doc:  "every wire.ReadFramePooled lease must reach Release on all paths, and the payload must not be used after release",
+	Doc:  "every pooled lease (wire.ReadFramePooled, memtier.Tier.Get) must reach Release on all paths, and the payload must not be used after release",
 	Run:  run,
 }
 
@@ -62,14 +70,38 @@ func isReadFramePooled(info *types.Info, call *ast.CallExpr) bool {
 	return ok && fn.Name() == "ReadFramePooled" && ftc.PkgNamed(fn.Pkg(), "wire")
 }
 
-// acquisition is one `frame, lease, err := wire.ReadFramePooled(...)`
-// site.
+// isMemtierGet matches calls to (*memtier.Tier).Get — the RAM tier's
+// lease-returning read: `lease, ok := tier.Get(path)`.
+func isMemtierGet(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := ftc.CalleeObject(info, call).(*types.Func)
+	if !ok || fn.Name() != "Get" || !ftc.PkgNamed(fn.Pkg(), "memtier") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	// Results (*Lease, bool) distinguish the tier read from any other
+	// memtier Get that may appear later.
+	res := sig.Results()
+	if res.Len() != 2 {
+		return false
+	}
+	basic, ok := res.At(1).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// acquisition is one lease-acquiring call site: either
+// `frame, lease, err := wire.ReadFramePooled(...)` or
+// `lease, ok := tier.Get(path)`.
 type acquisition struct {
 	stmt  *ast.AssignStmt
 	call  *ast.CallExpr
-	frame types.Object // may be nil (assigned to _)
+	what  string       // API name for diagnostics
+	frame types.Object // may be nil (assigned to _, or a Get acquisition)
 	lease types.Object // may be nil: that is itself a finding
-	err   types.Object // may be nil
+	err   types.Object // may be nil (err-guarded acquisitions only)
+	ok    types.Object // may be nil (ok-guarded acquisitions only)
 }
 
 func checkFunc(pass *ftc.Pass, fd *ast.FuncDecl) {
@@ -78,26 +110,41 @@ func checkFunc(pass *ftc.Pass, fd *ast.FuncDecl) {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			if len(n.Rhs) == 1 {
-				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isReadFramePooled(pass.Info, call) {
-					a := acquisition{stmt: n, call: call}
-					if len(n.Lhs) == 3 {
-						a.frame = lhsObject(pass.Info, n.Lhs[0])
-						a.lease = lhsObject(pass.Info, n.Lhs[1])
-						a.err = lhsObject(pass.Info, n.Lhs[2])
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					switch {
+					case isReadFramePooled(pass.Info, call):
+						a := acquisition{stmt: n, call: call, what: "wire.ReadFramePooled"}
+						if len(n.Lhs) == 3 {
+							a.frame = lhsObject(pass.Info, n.Lhs[0])
+							a.lease = lhsObject(pass.Info, n.Lhs[1])
+							a.err = lhsObject(pass.Info, n.Lhs[2])
+						}
+						acqs = append(acqs, a)
+					case isMemtierGet(pass.Info, call):
+						a := acquisition{stmt: n, call: call, what: "memtier.Tier.Get"}
+						if len(n.Lhs) == 2 {
+							a.lease = lhsObject(pass.Info, n.Lhs[0])
+							a.ok = lhsObject(pass.Info, n.Lhs[1])
+						}
+						acqs = append(acqs, a)
 					}
-					acqs = append(acqs, a)
 				}
 			}
 		case *ast.ExprStmt:
-			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isReadFramePooled(pass.Info, call) {
-				pass.Reportf(call.Pos(), "wire.ReadFramePooled result discarded: the lease can never be released")
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				switch {
+				case isReadFramePooled(pass.Info, call):
+					pass.Reportf(call.Pos(), "wire.ReadFramePooled result discarded: the lease can never be released")
+				case isMemtierGet(pass.Info, call):
+					pass.Reportf(call.Pos(), "memtier.Tier.Get result discarded: a hit's lease can never be released (use Has for existence checks)")
+				}
 			}
 		}
 		return true
 	})
 	for _, a := range acqs {
 		if a.lease == nil {
-			pass.Reportf(a.call.Pos(), "wire.ReadFramePooled lease assigned to _: the lease can never be released")
+			pass.Reportf(a.call.Pos(), "%s lease assigned to _: the lease can never be released", a.what)
 			continue
 		}
 		w := &walker{
@@ -156,8 +203,8 @@ func (w *walker) endPath(pos token.Pos, st state) {
 	if !st.active || st.released || st.errorPath {
 		return
 	}
-	w.reportf(pos, "wire.ReadFramePooled lease acquired at %s is not released on this path",
-		w.pass.Fset.Position(w.acq.call.Pos()))
+	w.reportf(pos, "%s lease acquired at %s is not released on this path",
+		w.acq.what, w.pass.Fset.Position(w.acq.call.Pos()))
 }
 
 // usesObj reports whether n references obj.
@@ -256,9 +303,24 @@ func dedupe(states []state) []state {
 }
 
 // errGuard classifies an if-condition as a guard on the acquisition's
-// error: returns (isGuard, thenIsErrorPath).
+// validity: `err != nil` / `err == nil` for ReadFramePooled, `ok` /
+// `!ok` for Tier.Get. Returns (isGuard, thenIsLeaseFreePath) — the
+// lease-free branch carries no obligation (on error the lease is
+// already released; on a miss there never was one).
 func (w *walker) errGuard(cond ast.Expr) (bool, bool) {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	cond = ast.Unparen(cond)
+	if w.acq.ok != nil {
+		if id, isIdent := cond.(*ast.Ident); isIdent && w.pass.Info.Uses[id] == w.acq.ok {
+			return true, false // then-branch holds the lease
+		}
+		if ue, isNot := cond.(*ast.UnaryExpr); isNot && ue.Op == token.NOT {
+			if id, isIdent := ast.Unparen(ue.X).(*ast.Ident); isIdent && w.pass.Info.Uses[id] == w.acq.ok {
+				return true, true // then-branch is the miss path
+			}
+		}
+		return false, false
+	}
+	be, ok := cond.(*ast.BinaryExpr)
 	if !ok || w.acq.err == nil {
 		return false, false
 	}
@@ -303,6 +365,17 @@ func (w *walker) scanExprEvents(n ast.Node, st state) state {
 			// Lease passed to another function: ownership handoff.
 			for _, arg := range c.Args {
 				if usesObj(w.pass.Info, arg, w.acq.lease) {
+					st.released = true
+					st.handoff = true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			// lease.Release as a method value (not a call — calls are
+			// consumed above): ownership handoff to wherever the value
+			// lands, canonically rpc.LeasedResp{Release: lease.Release}.
+			if c.Sel.Name == "Release" {
+				if id, isIdent := ast.Unparen(c.X).(*ast.Ident); isIdent && w.pass.Info.Uses[id] == w.acq.lease {
 					st.released = true
 					st.handoff = true
 					return false
@@ -434,7 +507,16 @@ func (w *walker) walkStmt(s ast.Stmt, st state) []state {
 
 	case *ast.IfStmt:
 		if s.Init != nil {
-			st = w.scanExprEvents(s.Init, st)
+			if s.Init == ast.Stmt(w.acq.stmt) {
+				// `if lease, ok := tier.Get(p); ok { ... }` — the
+				// acquisition lives in the if-init; the condition is
+				// (almost always) its own guard.
+				st.active = true
+				st.released = false
+				st.errorPath = false
+			} else {
+				st = w.scanExprEvents(s.Init, st)
+			}
 		}
 		st = w.scanExprEvents(s.Cond, st)
 		var out []state

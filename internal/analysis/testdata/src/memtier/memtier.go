@@ -1,0 +1,20 @@
+// Package memtier is a minimal stub of the repro memtier package for
+// analysistest: the poollease analyzer keys on the package name and the
+// (*Tier).Get / (*Lease).Release shapes, so the stub only needs those.
+package memtier
+
+type Lease struct{ released bool }
+
+func (l *Lease) Release() {
+	if l != nil {
+		l.released = true
+	}
+}
+
+func (l *Lease) Bytes() []byte { return nil }
+
+type Tier struct{}
+
+func (t *Tier) Get(path string) (*Lease, bool) { return nil, false }
+
+func (t *Tier) Has(path string) bool { return false }

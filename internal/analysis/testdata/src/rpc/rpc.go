@@ -12,6 +12,15 @@ type RetryPolicy struct {
 	MaxRetries int
 }
 
+// LeasedResp mirrors the repro rpc.LeasedResp shape: a response whose
+// Ext payload stays leased until the flush path calls Release.
+type LeasedResp struct {
+	Status  uint16
+	Head    []byte
+	Ext     []byte
+	Release func()
+}
+
 func (p RetryPolicy) Retries() int                  { return p.MaxRetries }
 func (p RetryPolicy) Backoff(attempt int) time.Duration { return time.Duration(attempt) }
 func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error { return nil }

@@ -58,7 +58,7 @@ func TestChaosSoak(t *testing.T) {
 	for _, seed := range seeds {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runSoak(t, seed, nil)
+			runSoak(t, seed, nil, 0)
 		})
 	}
 }
@@ -79,10 +79,39 @@ func TestChaosSoakBatchedIngest(t *testing.T) {
 		}
 		seed = v
 	}
-	runSoak(t, seed, &hvac.IngestConfig{MaxBatchEntries: 16, MaxDelay: 2 * time.Millisecond})
+	runSoak(t, seed, &hvac.IngestConfig{MaxBatchEntries: 16, MaxDelay: 2 * time.Millisecond}, 0)
 }
 
-func runSoak(t *testing.T, seed int64, ingest *hvac.IngestConfig) {
+// TestChaosSoakRAMTier is the soak with the in-memory hot-object tier
+// enabled on every server: the same wrong-bytes/stuck/convergence
+// invariants must hold while hot objects get promoted into RAM, served
+// zero-copy, evicted, demoted, and wiped by crash-restarts — and after
+// the readers drain, no server may hold a leaked pool lease.
+func TestChaosSoakRAMTier(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	seeds := []int64{5, 6, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	if s := os.Getenv("FTC_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FTC_CHAOS_SEED=%q: %v", s, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// 32 KiB per node holds ~64 of the 512-byte soak objects:
+			// small enough that promotion, eviction, and demotion all
+			// churn constantly during the run.
+			runSoak(t, seed, nil, 32<<10)
+		})
+	}
+}
+
+func runSoak(t *testing.T, seed int64, ingest *hvac.IngestConfig, ramCapacity int64) {
 	const (
 		nodes      = 16
 		nClients   = 4
@@ -100,6 +129,7 @@ func runSoak(t *testing.T, seed int64, ingest *hvac.IngestConfig) {
 		Network:      ctl.Network("boot"),
 		Retry:        &rpc.RetryPolicy{},
 		Ingest:       ingest,
+		RAMCapacity:  ramCapacity,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -362,6 +392,38 @@ func runSoak(t *testing.T, seed int64, ingest *hvac.IngestConfig) {
 		}
 		t.Logf("seed=%d: ingest puts=%d flushes=%d acked=%d",
 			seed, ingestPuts.Load(), ingestFlushes.Load(), ingestFlushOK.Load())
+	}
+
+	// RAM-tier epilogue: the tier must actually have served traffic
+	// (otherwise the variant proved nothing), and with every reader
+	// drained and every response flushed, no server may still hold a
+	// pool lease — a nonzero count here is a leaked zero-copy buffer.
+	if ramCapacity > 0 {
+		ramServed := int64(0)
+		for _, n := range cl.Nodes() {
+			ramServed += cl.Server(n).RAMServed()
+		}
+		if ramServed == 0 {
+			t.Errorf("seed=%d: RAM tier enabled but served zero reads", seed)
+		}
+		leaseDeadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := int64(0)
+			for _, n := range cl.Nodes() {
+				if ram := cl.Server(n).RAM(); ram != nil {
+					leaked += ram.ActiveLeases()
+				}
+			}
+			if leaked == 0 {
+				break
+			}
+			if time.Now().After(leaseDeadline) {
+				t.Errorf("seed=%d: %d pool leases still active after drain", seed, leaked)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Logf("seed=%d: ram-served=%d", seed, ramServed)
 	}
 
 	faults := ctl.FaultCounts()

@@ -51,6 +51,10 @@ type ClusterConfig struct {
 	TimeoutLimit int
 	// NVMeCapacity bounds each node's cache; 0 = unbounded.
 	NVMeCapacity int64
+	// RAMCapacity, when > 0, gives each server an in-memory hot-object
+	// tier of this many bytes above its NVMe cache (see
+	// hvac.ServerConfig.RAMCapacity). 0 disables the tier.
+	RAMCapacity int64
 	// Replication, when > 1 with the ring strategy, keeps that many
 	// cached copies of every file on distinct ring owners (extension:
 	// failover without any PFS traffic, at Replication× cache cost).
@@ -116,6 +120,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		srv := hvac.NewServer(hvac.ServerConfig{
 			Node:           node,
 			NVMeCapacity:   cfg.NVMeCapacity,
+			RAMCapacity:    cfg.RAMCapacity,
 			AdmissionLimit: cfg.AdmissionLimit,
 			AdmissionQueue: cfg.AdmissionQueue,
 			ReadDelay:      cfg.ReadDelay,
@@ -216,9 +221,13 @@ func (c *Cluster) Revive(node NodeID) error {
 		srv.SetUnresponsive(false)
 	} else {
 		// Hard-killed: boot a replacement daemon under the same identity.
+		// The replacement gets the same RAMCapacity — a rebooted node's
+		// RAM tier starts empty (construction guarantees that) but must
+		// not come back silently disabled.
 		fresh := hvac.NewServer(hvac.ServerConfig{
 			Node:           node,
 			NVMeCapacity:   c.cfg.NVMeCapacity,
+			RAMCapacity:    c.cfg.RAMCapacity,
 			AdmissionLimit: c.cfg.AdmissionLimit,
 			AdmissionQueue: c.cfg.AdmissionQueue,
 			ReadDelay:      c.cfg.ReadDelay,

@@ -129,6 +129,7 @@ type ClientConfig struct {
 type ClientStats struct {
 	RemoteReads   int64 // successful RPC reads
 	RemoteBytes   int64
+	ServedRAM     int64 // remote reads served from the owner's RAM tier
 	ServedNVMe    int64 // remote reads served from the owner's NVMe
 	ServedPFS     int64 // remote reads that fell back to PFS server-side
 	DirectPFS     int64 // client-side PFS reads (redirection strategy)
@@ -161,6 +162,7 @@ type Client struct {
 
 	remoteReads   atomic.Int64
 	remoteBytes   atomic.Int64
+	servedRAM     atomic.Int64
 	servedNVMe    atomic.Int64
 	servedPFS     atomic.Int64
 	directPFS     atomic.Int64
@@ -273,6 +275,7 @@ func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		RemoteReads:   c.remoteReads.Load(),
 		RemoteBytes:   c.remoteBytes.Load(),
+		ServedRAM:     c.servedRAM.Load(),
 		ServedNVMe:    c.servedNVMe.Load(),
 		ServedPFS:     c.servedPFS.Load(),
 		DirectPFS:     c.directPFS.Load(),
@@ -708,10 +711,14 @@ func (c *Client) readNodeOnce(ctx context.Context, node cluster.NodeID, path str
 	}
 	c.remoteReads.Add(1)
 	c.remoteBytes.Add(int64(len(resp.Data)))
-	if resp.Source == SourceNVMe {
+	switch resp.Source {
+	case SourceRAM:
+		c.servedRAM.Add(1)
+		cliMetrics().servedRAM.Inc()
+	case SourceNVMe:
 		c.servedNVMe.Add(1)
 		cliMetrics().servedNVMe.Inc()
-	} else {
+	default:
 		c.servedPFS.Add(1)
 		cliMetrics().servedPFS.Inc()
 		// A PFS fallback means this was the object's first touch (or a

@@ -1,0 +1,112 @@
+//go:build benchguard
+
+package hvac
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/loadctl"
+)
+
+// benchColdTierRead measures the client read path over an in-process
+// cluster under a uniform workload with the RAM tier enabled or
+// disabled. Uniform over 512 keys means nothing crosses the hot
+// threshold, so with the tier on every read pays exactly the tier's
+// non-hit bookkeeping — the sampled sketch touch and the shard miss
+// lookup — and never its wins (no promotion fires, nothing is ever
+// served from RAM). That is the path the guard pins: enabling the
+// tier must be near-free for workloads it cannot help.
+func benchColdTierRead(b *testing.B, ramCapacity int64) {
+	// HotFraction 0.5 pins the premise: uniform over 512 keys leaves
+	// every key's share at ~0.2%, and even space-saving overcounting
+	// (inherited churn in a 64-slot sketch) cannot reach half the
+	// window. At the default 1% threshold a long uniform run does
+	// promote eventually — churn inheritance plus window decay floors
+	// the threshold — which would put RAM hits into the "on" side and
+	// flatter it. Every read still pays the full cold-path cost: the
+	// sampled sketch touch and the shard miss lookup.
+	tc := newLoadctlCluster(b, 2, ServerConfig{
+		RAMCapacity: ramCapacity,
+		RAMSketch:   loadctl.Config{HotFraction: 0.5},
+	})
+	const files = 512
+	paths := make([]string, files)
+	for i := 0; i < files; i++ {
+		paths[i] = fmt.Sprintf("bench/f%d", i)
+		body := []byte(fmt.Sprintf("payload-%d", i))
+		tc.pfs.Put(paths[i], body)
+		tc.servers["node-00"].NVMe().Put(paths[i], body)
+		tc.servers["node-01"].NVMe().Put(paths[i], body)
+	}
+	c := tc.client(ClientConfig{
+		Router:     newReplRouter(tc.nodes),
+		RPCTimeout: 2 * time.Second,
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Read(ctx, paths[i%files]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The guard's premise is that nothing went hot: a promoted key
+	// would let the tier serve from RAM and flatter the "on" side.
+	if ramCapacity > 0 {
+		if srv := tc.servers["node-00"]; srv.RAMServed() > 0 {
+			b.Fatalf("uniform workload promoted into RAM (%d served) — the guard is no longer measuring the non-hot path", srv.RAMServed())
+		}
+	}
+}
+
+// TestMemtierOverheadGuard fails when enabling the RAM tier costs more
+// than the guard threshold on a uniform (never-hot) workload — the
+// regime where the tier is pure bookkeeping: one sampled sketch touch
+// plus one sharded map miss per read, no promotion, no demotion, no
+// lease traffic. The documented budget is 5%; the guard trips at 30%
+// because single-shot in-process runs on shared CI machines jitter far
+// more than the budget, and its job is to catch an accidental lock,
+// copy or unconditional promotion on the cold path, not to benchstat
+// small drift.
+//
+// Gated behind the benchguard tag so ordinary `go test ./...` stays
+// fast and deterministic:
+//
+//	go test -tags benchguard -run TestMemtierOverheadGuard ./internal/hvac/
+func TestMemtierOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	// Interleave on/off pairs and keep the best of each: minimums are
+	// far more robust to scheduler noise than means on a shared runner,
+	// and alternating sides keeps slow drift off any one side.
+	run := func(ramCapacity int64) float64 {
+		r := testing.Benchmark(func(b *testing.B) { benchColdTierRead(b, ramCapacity) })
+		return float64(r.NsPerOp())
+	}
+	var on, off float64
+	for i := 0; i < 3; i++ {
+		var a, b float64
+		if i%2 == 0 {
+			a = run(1 << 20)
+			b = run(0)
+		} else {
+			b = run(0)
+			a = run(1 << 20)
+		}
+		if on == 0 || a < on {
+			on = a
+		}
+		if off == 0 || b < off {
+			off = b
+		}
+	}
+	overhead := (on - off) / off
+	t.Logf("uniform read: ram tier on %.0f ns/op, off %.0f ns/op, overhead %+.1f%%", on, off, 100*overhead)
+	if overhead > 0.30 {
+		t.Errorf("memtier overhead %.1f%% exceeds 30%% guard threshold (budget is 5%% under benchstat conditions)", 100*overhead)
+	}
+}

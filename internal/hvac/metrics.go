@@ -14,6 +14,7 @@ import (
 type clientMetrics struct {
 	reads       *telemetry.Counter   // completed Read/ReadRange calls (any outcome)
 	readLatency *telemetry.Histogram // end-to-end read latency incl. failover
+	servedRAM   *telemetry.Counter   // remote reads served from the owner's RAM tier
 	servedNVMe  *telemetry.Counter   // remote reads served from owner NVMe (cache hit)
 	servedPFS   *telemetry.Counter   // remote reads the server fell back to PFS for (cache miss)
 	directPFS   *telemetry.Counter   // client-side PFS bypass reads (redirection strategy)
@@ -60,6 +61,7 @@ func cliMetrics() *clientMetrics {
 		cliMetricsInst = &clientMetrics{
 			reads:       reg.Counter("ftc_client_reads_total"),
 			readLatency: reg.Histogram("ftc_client_read_latency_seconds"),
+			servedRAM:   reg.Counter("ftc_client_served_ram_total"),
 			servedNVMe:  reg.Counter("ftc_client_served_nvme_total"),
 			servedPFS:   reg.Counter("ftc_client_served_pfs_total"),
 			directPFS:   reg.Counter("ftc_client_direct_pfs_total"),
@@ -145,6 +147,19 @@ func (s *Server) registerTelemetry() {
 	reg.GaugeFunc("ftc_server_nvme_bytes", func() int64 { _, b := nvme.StatsAtomic(); return b }, "node", node)
 	reg.GaugeFunc("ftc_server_nvme_objects", func() int64 { o, _ := nvme.StatsAtomic(); return o }, "node", node)
 
+	if ram := s.ram; ram != nil {
+		reg.CounterFunc("ftc_server_ram_hits_total", func() int64 { h, _, _, _, _, _ := ram.Counters(); return h }, "node", node)
+		reg.CounterFunc("ftc_server_ram_misses_total", func() int64 { _, m, _, _, _, _ := ram.Counters(); return m }, "node", node)
+		reg.CounterFunc("ftc_server_ram_admits_total", func() int64 { _, _, a, _, _, _ := ram.Counters(); return a }, "node", node)
+		reg.CounterFunc("ftc_server_ram_evictions_total", func() int64 { _, _, _, e, _, _ := ram.Counters(); return e }, "node", node)
+		reg.CounterFunc("ftc_server_ram_demotions_total", func() int64 { _, _, _, _, d, _ := ram.Counters(); return d }, "node", node)
+		reg.CounterFunc("ftc_server_ram_invalidations_total", func() int64 { _, _, _, _, _, i := ram.Counters(); return i }, "node", node)
+		reg.CounterFunc("ftc_server_ram_served_total", s.ramServed.Load, "node", node)
+		reg.GaugeFunc("ftc_server_ram_bytes", func() int64 { _, b := ram.StatsAtomic(); return b }, "node", node)
+		reg.GaugeFunc("ftc_server_ram_objects", func() int64 { o, _ := ram.StatsAtomic(); return o }, "node", node)
+		reg.GaugeFunc("ftc_server_ram_leases", ram.ActiveLeases, "node", node)
+	}
+
 	reg.CounterFunc("ftc_server_fills_total", func() int64 { e, _ := mover.Counters(); return e }, "node", node)
 	reg.CounterFunc("ftc_server_fill_drops_total", func() int64 { _, d := mover.Counters(); return d }, "node", node)
 	reg.CounterFunc("ftc_server_inline_fills_total", func() int64 { i, _, _ := mover.FillStats(); return i }, "node", node)
@@ -192,5 +207,58 @@ func (s *Server) debugSnapshot() any {
 			"shed":     shed,
 		}
 	}
+	snap["tiers"] = s.tierSnapshot()
 	return snap
+}
+
+// tierSnapshot is the per-tier breakdown of /debug/ftcache's storage
+// section: capacity, occupancy, and hit ratio for each serving tier in
+// paper order (RAM → NVMe → PFS). The PFS tier is the shared backstop —
+// it has no node-local capacity, and every read it serves is by
+// definition a miss of the tiers above, so its "hit ratio" is the
+// fallback fraction.
+func (s *Server) tierSnapshot() []map[string]any {
+	tiers := make([]map[string]any, 0, 3)
+	reads := s.reads.Load()
+	if s.ram != nil {
+		objects, bytes := s.ram.StatsAtomic()
+		hits, misses, _, _, _, _ := s.ram.Counters()
+		tiers = append(tiers, map[string]any{
+			"tier":      "ram",
+			"capacity":  s.ram.Capacity(),
+			"bytes":     bytes,
+			"objects":   objects,
+			"hits":      hits,
+			"misses":    misses,
+			"hit_ratio": ratio(hits, hits+misses),
+			"served":    s.ramServed.Load(),
+			"leases":    s.ram.ActiveLeases(),
+		})
+	}
+	nvmeObjects, nvmeBytes := s.nvme.StatsAtomic()
+	nvmeHits, nvmeMisses, _ := s.nvme.Counters()
+	tiers = append(tiers, map[string]any{
+		"tier":      "nvme",
+		"capacity":  s.nvme.Capacity(),
+		"bytes":     nvmeBytes,
+		"objects":   nvmeObjects,
+		"hits":      nvmeHits,
+		"misses":    nvmeMisses,
+		"hit_ratio": ratio(nvmeHits, nvmeHits+nvmeMisses),
+	})
+	fallbacks := s.pfsFallbacks.Load()
+	tiers = append(tiers, map[string]any{
+		"tier":      "pfs",
+		"served":    fallbacks,
+		"hit_ratio": ratio(fallbacks, reads),
+	})
+	return tiers
+}
+
+// ratio renders num/den as a float, 0 when den is zero.
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }

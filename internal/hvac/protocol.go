@@ -62,6 +62,8 @@ const (
 	SourceNVMe uint8 = 1
 	// SourcePFS: cache miss, served from the parallel file system.
 	SourcePFS uint8 = 2
+	// SourceRAM: served zero-copy from the in-memory hot-object tier.
+	SourceRAM uint8 = 3
 )
 
 // ErrDecode reports a malformed payload.

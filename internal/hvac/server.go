@@ -1,16 +1,19 @@
 package hvac
 
 import (
+	"context"
 	"net"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/loadctl"
+	"repro/internal/memtier"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // ServerConfig configures one HVAC server daemon.
@@ -38,6 +41,15 @@ type ServerConfig struct {
 	// in-process cluster shares one core. 0 (the default) disables the
 	// simulation entirely.
 	ReadDelay time.Duration
+	// RAMCapacity, when > 0, enables the RAM tier: a sharded in-memory
+	// hot-object cache (internal/memtier) above NVMe on the read path.
+	// Only keys the server-side hot-key sketch publishes as hot are
+	// admitted; hits skip the device model entirely and serve zero-copy
+	// from the tier's pooled buffers. 0 (the default) disables the tier.
+	RAMCapacity int64
+	// RAMSketch tunes the server-side hot-key sketch driving RAM
+	// admission; the zero value selects loadctl defaults.
+	RAMSketch loadctl.Config
 }
 
 // readDeviceWidth is the number of simulated reads a node's device
@@ -55,8 +67,16 @@ type Server struct {
 	limiter *loadctl.Limiter // nil → admission control disabled
 	device  chan struct{}    // simulated device slots; nil → no ReadDelay
 
+	// RAM tier (all nil when RAMCapacity == 0): the sketch decides who
+	// gets promoted, the singleflight group makes each hot fill happen
+	// once, and the tier itself holds the bytes.
+	ram       *memtier.Tier
+	ramSketch *loadctl.Sketch
+	ramFill   *loadctl.Group
+
 	reads        atomic.Int64
 	pfsFallbacks atomic.Int64
+	ramServed    atomic.Int64 // reads answered from the RAM tier
 	batchPuts    atomic.Int64 // OpPutBatch frames decoded
 	batchEntries atomic.Int64 // objects received inside those frames
 	batchSheds   atomic.Int64 // whole batches shed by admission
@@ -74,6 +94,11 @@ func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
 	if cfg.ReadDelay > 0 {
 		s.device = make(chan struct{}, readDeviceWidth)
 	}
+	if cfg.RAMCapacity > 0 {
+		s.ram = memtier.New(cfg.RAMCapacity, s.demoteRAM)
+		s.ramSketch = loadctl.NewSketch(cfg.RAMSketch)
+		s.ramFill = loadctl.NewGroup()
+	}
 	s.mover = NewMover(s.nvme, cfg.MoverQueueDepth, cfg.MoverWorkers)
 	s.mover.node = string(cfg.Node)
 	s.rpc = rpc.NewServer(s)
@@ -86,6 +111,26 @@ func (s *Server) Node() cluster.NodeID { return s.cfg.Node }
 
 // NVMe exposes the cache store (tests and experiments preload it).
 func (s *Server) NVMe() *storage.NVMe { return s.nvme }
+
+// RAM exposes the in-memory hot-object tier (nil when disabled).
+func (s *Server) RAM() *memtier.Tier { return s.ram }
+
+// RAMServed returns the cumulative count of reads answered from RAM.
+func (s *Server) RAMServed() int64 { return s.ramServed.Load() }
+
+// demoteRAM is the tier's eviction callback: an object squeezed out of
+// RAM falls back to NVMe so its bytes stay node-local (RAM → NVMe →
+// PFS, the paper's tier order). Bytes are pinned by the tier for the
+// duration of the call; the NVMe fill copies them. Objects already on
+// NVMe (the common case — promotion never removed them) cost one Has.
+// Invalidation and Clear never demote: stale bytes must not resurrect
+// into a lower tier.
+func (s *Server) demoteRAM(path string, data []byte) {
+	if s.nvme.Has(path) {
+		return
+	}
+	s.mover.Enqueue(path, append([]byte(nil), data...))
+}
 
 // Mover exposes the data mover (tests flush it for determinism).
 func (s *Server) Mover() *Mover { return s.mover }
@@ -114,18 +159,36 @@ func (s *Server) Close() {
 }
 
 // Handle implements rpc.Handler (direct handler invocations in tests
-// and tools; the RPC server itself dispatches through HandleWait).
+// and tools; the RPC server itself dispatches through HandleLeased).
 func (s *Server) Handle(op uint16, payload []byte) (uint16, []byte) {
 	return s.HandleWait(op, payload, 0)
 }
 
-// HandleWait implements rpc.WaitHandler: connWait is the time the
-// request sat in the per-connection fan-out queue, which tracing
-// reports as the first slice of the server-side queue component.
+// HandleWait implements rpc.WaitHandler — the copying dispatch path.
+// A zero-copy read response is flattened (head and leased tail joined
+// into one owned slice) and its lease released before return, so
+// direct callers never see tier internals.
 func (s *Server) HandleWait(op uint16, payload []byte, connWait time.Duration) (uint16, []byte) {
+	lr := s.HandleLeased(op, payload, connWait)
+	if lr.Release == nil {
+		return lr.Status, lr.Head
+	}
+	resp := make([]byte, 0, len(lr.Head)+len(lr.Ext))
+	resp = append(append(resp, lr.Head...), lr.Ext...)
+	lr.Release()
+	return lr.Status, resp
+}
+
+// HandleLeased implements rpc.LeasedHandler: the RPC server dispatches
+// every request here, and a RAM-tier read hit answers with a leased
+// zero-copy payload tail that stays pinned until the coalesced
+// response flush has it on the wire. connWait is the time the request
+// sat in the per-connection fan-out queue, which tracing reports as
+// the first slice of the server-side queue component.
+func (s *Server) HandleLeased(op uint16, payload []byte, connWait time.Duration) rpc.LeasedResp {
 	switch op {
 	case OpPing:
-		return rpc.StatusOK, nil
+		return rpc.LeasedResp{Status: rpc.StatusOK}
 	case OpRead:
 		// Admission gate: only reads are limited — control-plane ops
 		// (ping, stats) must keep answering under overload so liveness
@@ -137,25 +200,30 @@ func (s *Server) HandleWait(op uint16, payload []byte, connWait time.Duration) (
 		if s.limiter != nil {
 			ok, wait := s.limiter.AcquireWait()
 			if !ok {
-				return StatusOverloaded, nil
+				return rpc.LeasedResp{Status: StatusOverloaded}
 			}
 			defer s.limiter.Release()
 			admissionWait = wait
 		}
 		return s.handleRead(payload, connWait, admissionWait)
 	case OpStat:
-		return s.handleStat(payload)
+		return plainResp(s.handleStat(payload))
 	case OpStats:
-		return s.handleStats()
+		return plainResp(s.handleStats())
 	case OpInvalidate:
-		return s.handleInvalidate(payload)
+		return plainResp(s.handleInvalidate(payload))
 	case OpPut:
-		return s.handlePut(payload)
+		return plainResp(s.handlePut(payload))
 	case OpPutBatch:
-		return s.handlePutBatch(payload, connWait)
+		return plainResp(s.handlePutBatch(payload, connWait))
 	default:
-		return StatusError, []byte("unknown opcode")
+		return rpc.LeasedResp{Status: StatusError, Head: []byte("unknown opcode")}
 	}
+}
+
+// plainResp wraps a copying handler's result as a lease-free response.
+func plainResp(status uint16, resp []byte) rpc.LeasedResp {
+	return rpc.LeasedResp{Status: status, Head: resp}
 }
 
 // handlePut accepts a replica write: the pusher already holds the bytes,
@@ -175,6 +243,14 @@ func (s *Server) handlePut(payload []byte) (uint16, []byte) {
 	if s.nvme.Has(req.Path) {
 		sp.Annotate("dedup", "cached")
 		return rpc.StatusOK, nil
+	}
+	// The path is new to NVMe, so the put may carry bytes that differ
+	// from a stale RAM copy (promoted earlier, then evicted from NVMe):
+	// drop the RAM entry before the fill so the tier can never serve
+	// stale data. When NVMe already had the path (dedup above), RAM and
+	// NVMe still agree and no invalidation is needed.
+	if s.ram != nil {
+		s.ram.Invalidate(req.Path)
 	}
 	// The payload aliases the RPC buffer; copy before retaining.
 	data := append([]byte(nil), req.Data...)
@@ -236,6 +312,11 @@ func (s *Server) handlePutBatch(payload []byte, connWait time.Duration) (uint16,
 		if s.nvme.Has(req.Entries[i].Path) {
 			continue // acked as OK without re-storing
 		}
+		if s.ram != nil {
+			// Same rule as handlePut: a path new to NVMe may carry new
+			// bytes, so any stale RAM copy must go before the fill.
+			s.ram.Invalidate(req.Entries[i].Path)
+		}
 		fills = append(fills, storage.BatchEntry{Path: req.Entries[i].Path, Data: req.Entries[i].Data})
 		idx = append(idx, i)
 		total += len(req.Entries[i].Data)
@@ -271,15 +352,19 @@ func (s *Server) handlePutBatch(payload []byte, connWait time.Duration) (uint16,
 	return rpc.StatusOK, resp.Marshal()
 }
 
-// handleRead is the paper's server read path: NVMe hit → serve; miss →
-// read PFS, serve, and enqueue an async cache fill. connWait and
-// admissionWait are the two server-side queueing delays already paid
-// before this point; the span reports them so the client can attribute
-// its observed RPC time to queueing vs. storage.
-func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duration) (uint16, []byte) {
+// handleRead is the tiered server read path: RAM hit → serve zero-copy
+// (no device model — RAM pays no NVMe service time); RAM miss → NVMe;
+// NVMe miss → PFS, serve, and enqueue an async cache fill. Published-
+// hot keys are promoted into the RAM tier on the way out, and a hot
+// NVMe miss runs its PFS fetch + RAM/NVMe fill through the
+// singleflight group so a thundering herd fills each tier exactly
+// once. connWait and admissionWait are the two server-side queueing
+// delays already paid before this point; the span reports them so the
+// client can attribute its observed RPC time to queueing vs. storage.
+func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duration) rpc.LeasedResp {
 	var req ReadReq
 	if err := req.Unmarshal(payload); err != nil {
-		return StatusError, []byte(err.Error())
+		return rpc.LeasedResp{Status: StatusError, Head: []byte(err.Error())}
 	}
 	s.reads.Add(1)
 	sp := trace.StartRemote("server.read", trace.TraceID(req.Trace.TraceID), trace.SpanID(req.Trace.SpanID))
@@ -290,6 +375,32 @@ func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duratio
 	}
 	if admissionWait > 0 {
 		sp.AnnotateDuration("admission_wait_ns", admissionWait)
+	}
+	hot := false
+	if s.ram != nil {
+		hot = s.ramSketch.Touch(req.Path)
+		if lease, ok := s.ram.Get(req.Path); ok {
+			// RAM hit: no device-slot wait, no storage read, no copy.
+			// The response head (source/size/length prefix) goes into
+			// the shared flush buffer; the body rides as a leased
+			// segment released only after the flush completes.
+			hs := sp.StartChild("memtier.hit")
+			data := lease.Bytes()
+			body, inRange := slice(data, req.Offset, req.Length)
+			if !inRange {
+				lease.Release()
+				hs.SetErrorString("range out of bounds")
+				hs.End()
+				sp.SetErrorString("range out of bounds")
+				return rpc.LeasedResp{Status: StatusError, Head: []byte("range out of bounds")}
+			}
+			hs.AnnotateInt("bytes", int64(len(body)))
+			hs.End()
+			s.ramServed.Add(1)
+			head := wire.NewBuffer(16).
+				U8(SourceRAM).I64(int64(len(data))).U32(uint32(len(body))).Bytes()
+			return rpc.LeasedResp{Status: rpc.StatusOK, Head: head, Ext: body, Release: lease.Release}
+		}
 	}
 	if s.device != nil {
 		// Device-slot wait is timed only for traced requests: the
@@ -309,37 +420,90 @@ func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duratio
 	source := SourceNVMe
 	data, err := s.nvme.Get(req.Path)
 	if err != nil {
-		data, err = s.pfs.Get(req.Path)
+		if hot {
+			// Hot miss: coalesce the PFS fetch and both tier fills
+			// into one flight — followers share the leader's bytes.
+			var shared bool
+			data, err, shared = s.ramFill.Do(context.Background(), req.Path, loadctl.FetcherFunc(s.hotFillFetch))
+			if shared {
+				st.Annotate("coalesced", "true")
+			}
+		} else {
+			data, err = s.pfs.Get(req.Path)
+			if err == nil {
+				s.pfsFallbacks.Add(1)
+				telemetry.TraceEvent(telemetry.EventPFSFallback, string(s.cfg.Node), req.Path, int64(len(data)))
+				if s.mover.Enqueue(req.Path, data) {
+					st.Annotate("recache", "queued")
+				} else {
+					st.Annotate("recache", "dropped")
+				}
+			}
+		}
 		if err != nil {
 			st.SetErrorString("not found")
 			st.End()
 			sp.SetErrorString("not found")
-			return StatusNotFound, []byte(req.Path)
+			return rpc.LeasedResp{Status: StatusNotFound, Head: []byte(req.Path)}
 		}
 		source = SourcePFS
-		s.pfsFallbacks.Add(1)
-		telemetry.TraceEvent(telemetry.EventPFSFallback, string(s.cfg.Node), req.Path, int64(len(data)))
-		if s.mover.Enqueue(req.Path, data) {
-			st.Annotate("recache", "queued")
-		} else {
-			st.Annotate("recache", "dropped")
-		}
+	} else if hot && !s.ram.Has(req.Path) {
+		// Hot NVMe hit: promote into RAM (deduped through the same
+		// singleflight so concurrent hits copy the bytes once).
+		s.promoteRAM(req.Path, data, sp)
 	}
 	st.Annotate("source", sourceName(source))
 	st.End()
 	body, ok := slice(data, req.Offset, req.Length)
 	if !ok {
 		sp.SetErrorString("range out of bounds")
-		return StatusError, []byte("range out of bounds")
+		return rpc.LeasedResp{Status: StatusError, Head: []byte("range out of bounds")}
 	}
 	resp := ReadResp{Source: source, FileSize: int64(len(data)), Data: body}
-	return rpc.StatusOK, resp.Marshal()
+	return rpc.LeasedResp{Status: rpc.StatusOK, Head: resp.Marshal()}
+}
+
+// hotFillFetch is the singleflight body of a hot-key miss: one PFS
+// read, one async NVMe fill, one RAM admission — however many readers
+// piled onto the flight. Runs as the flight leader; the returned bytes
+// are shared read-only with every waiter.
+func (s *Server) hotFillFetch(_ context.Context, path string) ([]byte, error) {
+	data, err := s.pfs.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	s.pfsFallbacks.Add(1)
+	telemetry.TraceEvent(telemetry.EventPFSFallback, string(s.cfg.Node), path, int64(len(data)))
+	s.mover.Enqueue(path, data)
+	s.ram.Admit(path, data)
+	return data, nil
+}
+
+// promoteRAM copies a hot NVMe-resident object up into the RAM tier,
+// deduping concurrent promotions of the same key through the
+// singleflight group (the admit is a copy; N concurrent hits should
+// pay for one).
+func (s *Server) promoteRAM(path string, data []byte, sp *trace.Span) {
+	ps := sp.StartChild("memtier.promote")
+	_, _, shared := s.ramFill.Do(context.Background(), path, loadctl.FetcherFunc(
+		func(_ context.Context, key string) ([]byte, error) {
+			s.ram.Admit(key, data)
+			return data, nil
+		}))
+	if shared {
+		ps.Annotate("coalesced", "true")
+	}
+	ps.AnnotateInt("bytes", int64(len(data)))
+	ps.End()
 }
 
 // sourceName renders a read source for span annotations.
 func sourceName(source uint8) string {
-	if source == SourcePFS {
+	switch source {
+	case SourcePFS:
 		return "pfs"
+	case SourceRAM:
+		return "ram"
 	}
 	return "nvme"
 }
@@ -395,6 +559,9 @@ func (s *Server) handleInvalidate(payload []byte) (uint16, []byte) {
 	var req StatReq
 	if err := req.Unmarshal(payload); err != nil {
 		return StatusError, []byte(err.Error())
+	}
+	if s.ram != nil {
+		s.ram.Invalidate(req.Path)
 	}
 	s.nvme.Delete(req.Path)
 	return rpc.StatusOK, nil

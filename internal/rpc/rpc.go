@@ -72,6 +72,31 @@ type WaitHandler interface {
 	HandleWait(op uint16, payload []byte, connWait time.Duration) (status uint16, resp []byte)
 }
 
+// LeasedResp is a response whose payload tail is a zero-copy lease:
+// the wire payload is Head||Ext, where Head is copied into the shared
+// flush buffer as usual and Ext is spliced into the flush directly
+// from memory the handler still owns. Release (which may be nil when
+// there is no lease) fires exactly once, after the flush attempt
+// carrying the response completes — that is the moment the handler's
+// ownership of Ext ends. The RAM-tier read path uses this to serve
+// cache hits straight out of pooled tier buffers without a copy.
+type LeasedResp struct {
+	Status  uint16
+	Head    []byte
+	Ext     []byte
+	Release func()
+}
+
+// LeasedHandler is the optional Handler extension for zero-copy leased
+// responses. When implemented, the server dispatches every request
+// through HandleLeased instead of Handle/HandleWait. Implementations
+// must not panic between acquiring a lease and returning it in the
+// LeasedResp — a panic unwinds past the server's recovery without the
+// Release ever reaching the writer, leaking the lease.
+type LeasedHandler interface {
+	HandleLeased(op uint16, payload []byte, connWait time.Duration) LeasedResp
+}
+
 // Server accepts framed-RPC connections and dispatches requests.
 type Server struct {
 	handler Handler
@@ -152,6 +177,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	// while another response is mid-write parks its frame in the shared
 	// buffer, and one Write flushes them all (see wire.CoalescedWriter).
 	cw := wire.NewCoalescedWriter(conn, serverFlushObserver(m))
+	lh, _ := s.handler.(LeasedHandler)
 	sem := make(chan struct{}, MaxConnConcurrency)
 	for {
 		// The request body is leased from the wire buffer pool, so the
@@ -183,6 +209,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func() {
 			defer func() { <-sem }()
 			defer lease.Release()
+			if lh != nil {
+				// Leased-response path: the handler may return a payload
+				// tail it still owns; the coalescing writer splices it
+				// into the flush and fires Release once the bytes are on
+				// the wire (or the flush is abandoned) — the lease
+				// outlives this goroutine.
+				lr := s.safeHandleLeased(lh, req.Op, req.Payload, connWait)
+				if s.unresponsive.Load() {
+					if lr.Release != nil {
+						lr.Release()
+					}
+					return
+				}
+				out := wire.Frame{
+					Type:    wire.TypeResponse,
+					ID:      req.ID,
+					Op:      req.Op,
+					Status:  lr.Status,
+					Payload: lr.Head,
+				}
+				var werr error
+				if lr.Ext != nil || lr.Release != nil {
+					werr = cw.WriteFrameExt(&out, lr.Ext, lr.Release, time.Time{})
+				} else {
+					werr = cw.WriteFrame(&out)
+				}
+				if werr != nil {
+					m.respDropped.Inc()
+				}
+				return
+			}
 			status, resp := s.safeHandle(req.Op, req.Payload, connWait)
 			if s.unresponsive.Load() {
 				return // became unresponsive while handling
@@ -221,6 +278,18 @@ func (s *Server) safeHandle(op uint16, payload []byte, connWait time.Duration) (
 		return wh.HandleWait(op, payload, connWait)
 	}
 	return s.handler.Handle(op, payload)
+}
+
+// safeHandleLeased is safeHandle for the leased-response dispatch path.
+// A recovered panic yields a plain (lease-free) StatusPanic response;
+// see LeasedHandler for the no-panic-while-holding-a-lease contract.
+func (s *Server) safeHandleLeased(lh LeasedHandler, op uint16, payload []byte, connWait time.Duration) (lr LeasedResp) {
+	defer func() {
+		if r := recover(); r != nil {
+			lr = LeasedResp{Status: StatusPanic, Head: []byte(fmt.Sprintf("handler panic: %v", r))}
+		}
+	}()
+	return lh.HandleLeased(op, payload, connWait)
 }
 
 // Close stops accepting, closes all connections, and waits for

@@ -401,6 +401,22 @@ func (n *NVMe) Delete(path string) {
 }
 
 // Stats implements Store.
+// Paths returns every resident path (unordered). Diagnostic use only —
+// it takes each shard lock in turn, so the snapshot is per-shard
+// consistent, not globally atomic.
+func (n *NVMe) Paths() []string {
+	var out []string
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.mu.Lock()
+		for p := range sh.items {
+			out = append(out, p)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 func (n *NVMe) Stats() (int, int64) {
 	objects := 0
 	for i := range n.shards {

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"io"
+	"net"
 	"sync"
 	"time"
 )
@@ -32,6 +33,17 @@ type flushGen struct {
 	frames int
 }
 
+// extSeg is one external payload segment spliced into a flush at byte
+// offset off of the generation's encode buffer: the zero-copy tail of a
+// frame written with WriteFrameExt. release fires once the flush
+// attempt carrying the segment has completed (or the generation is
+// abandoned), ending the caller's lease on b.
+type extSeg struct {
+	off     int
+	b       []byte
+	release func()
+}
+
 // CoalescedWriter turns per-frame writes from many goroutines into
 // group-committed flushes: each caller encodes its frame into a shared
 // pending buffer, and the first caller to arrive while no flush is in
@@ -52,6 +64,7 @@ type CoalescedWriter struct {
 
 	mu       sync.Mutex
 	pend     *Buf      // frames encoded and not yet flushed (nil = none)
+	segs     []extSeg  // external segments spliced into pend's frames
 	gen      *flushGen // waiters for the frames in pend
 	earliest time.Time // earliest nonzero deadline among pending frames
 	flushing bool      // a flusher is active (owns the fields below)
@@ -73,7 +86,7 @@ func NewCoalescedWriter(w io.Writer, ob FlushObserver) *CoalescedWriter {
 
 // WriteFrame encodes f and returns once a flush carrying it completed.
 func (cw *CoalescedWriter) WriteFrame(f *Frame) error {
-	return cw.WriteFrameDeadline(f, time.Time{})
+	return cw.writeFrame(f, nil, nil, time.Time{})
 }
 
 // WriteFrameDeadline is WriteFrame with a write deadline: the flush
@@ -82,16 +95,45 @@ func (cw *CoalescedWriter) WriteFrame(f *Frame) error {
 // each caller sees the timeout and classifies it independently, exactly
 // as if its own solo write had timed out.
 func (cw *CoalescedWriter) WriteFrameDeadline(f *Frame, dl time.Time) error {
+	return cw.writeFrame(f, nil, nil, dl)
+}
+
+// WriteFrameExt is WriteFrameDeadline for a frame whose payload tail
+// lives outside the shared encode buffer: the frame's declared length
+// covers f.Payload plus ext, f.Payload (the head) is copied into the
+// pending buffer, and ext is spliced in at flush time without copying —
+// the zero-copy path a leased RAM-tier read rides.
+//
+// release (which may be nil) is invoked exactly once, after the flush
+// attempt carrying the frame finishes — success, error, or abandonment
+// on an already-broken writer — ending the caller's lease on ext. It
+// runs on the flusher's goroutine and must be cheap, non-blocking, and
+// must not call back into this writer.
+func (cw *CoalescedWriter) WriteFrameExt(f *Frame, ext []byte, release func(), dl time.Time) error {
+	return cw.writeFrame(f, ext, release, dl)
+}
+
+// writeFrame encodes f (plus an optional external segment) into the
+// pending generation and drives or awaits its flush.
+func (cw *CoalescedWriter) writeFrame(f *Frame, ext []byte, release func(), dl time.Time) error {
 	cw.mu.Lock()
 	if cw.broken {
 		cw.mu.Unlock()
+		if release != nil {
+			release()
+		}
 		return ErrWriterBroken
 	}
 	if cw.pend == nil {
 		cw.pend = acquireBuf(0)
 		cw.gen = &flushGen{done: make(chan struct{})}
 	}
-	cw.pend.b = AppendFrame(cw.pend.b, f)
+	if ext == nil && release == nil {
+		cw.pend.b = AppendFrame(cw.pend.b, f)
+	} else {
+		cw.pend.b = appendFrameHead(cw.pend.b, f, len(ext))
+		cw.segs = append(cw.segs, extSeg{off: len(cw.pend.b), b: ext, release: release})
+	}
 	cw.gen.frames++
 	if !dl.IsZero() && (cw.earliest.IsZero() || dl.Before(cw.earliest)) {
 		cw.earliest = dl
@@ -106,11 +148,12 @@ func (cw *CoalescedWriter) WriteFrameDeadline(f *Frame, dl time.Time) error {
 	}
 	cw.flushing = true
 	for cw.pend != nil {
-		buf, g, dl := cw.pend, cw.gen, cw.earliest
-		cw.pend, cw.gen, cw.earliest = nil, nil, time.Time{}
+		buf, segs, g, dl := cw.pend, cw.segs, cw.gen, cw.earliest
+		cw.pend, cw.segs, cw.gen, cw.earliest = nil, nil, nil, time.Time{}
 		cw.mu.Unlock()
 
-		g.err = cw.flush(buf.b, dl, g.frames)
+		g.err = cw.flush(buf.b, segs, dl, g.frames)
+		releaseSegs(segs)
 		buf.Release()
 		close(g.done)
 
@@ -118,10 +161,13 @@ func (cw *CoalescedWriter) WriteFrameDeadline(f *Frame, dl time.Time) error {
 		if g.err != nil && cw.brokenByFlush(g.err) {
 			cw.broken = true
 			// Fail everything that queued behind the corrupting flush:
-			// its bytes must never reach the wire.
+			// its bytes must never reach the wire. Queued external
+			// leases are released — abandoned, not written.
 			if cw.pend != nil {
 				cw.pend.Release()
 				cw.pend = nil
+				releaseSegs(cw.segs)
+				cw.segs = nil
 				cw.gen.err = ErrWriterBroken
 				close(cw.gen.done)
 				cw.gen = nil
@@ -134,9 +180,22 @@ func (cw *CoalescedWriter) WriteFrameDeadline(f *Frame, dl time.Time) error {
 	return gen.err
 }
 
-// flush issues the single Write for one batch, arming or clearing the
-// conn write deadline first. Runs with flushing held (no lock).
-func (cw *CoalescedWriter) flush(buf []byte, dl time.Time, frames int) error {
+// releaseSegs ends the leases of a generation's external segments.
+func releaseSegs(segs []extSeg) {
+	for i := range segs {
+		if segs[i].release != nil {
+			segs[i].release()
+		}
+	}
+}
+
+// flush issues the write for one batch, arming or clearing the conn
+// write deadline first. A batch without external segments leaves in a
+// single Write call; one with segments leaves as a vectored write
+// (net.Buffers — writev on TCP conns, sequential writes elsewhere)
+// that interleaves encode-buffer spans with the spliced segments.
+// Runs with flushing held (no lock).
+func (cw *CoalescedWriter) flush(buf []byte, segs []extSeg, dl time.Time, frames int) error {
 	if cw.dw != nil {
 		if !dl.IsZero() {
 			_ = cw.dw.SetWriteDeadline(dl)
@@ -146,11 +205,35 @@ func (cw *CoalescedWriter) flush(buf []byte, dl time.Time, frames int) error {
 			cw.armed = false
 		}
 	}
-	n, err := cw.w.Write(buf)
-	if cw.ob != nil {
-		cw.ob(frames, len(buf))
+	var n int64
+	var err error
+	total := len(buf)
+	if len(segs) == 0 {
+		var ni int
+		ni, err = cw.w.Write(buf)
+		n = int64(ni)
+	} else {
+		bufs := make(net.Buffers, 0, 2*len(segs)+1)
+		prev := 0
+		for i := range segs {
+			if segs[i].off > prev {
+				bufs = append(bufs, buf[prev:segs[i].off])
+				prev = segs[i].off
+			}
+			if len(segs[i].b) > 0 {
+				bufs = append(bufs, segs[i].b)
+				total += len(segs[i].b)
+			}
+		}
+		if prev < len(buf) {
+			bufs = append(bufs, buf[prev:])
+		}
+		n, err = bufs.WriteTo(cw.w)
 	}
-	if err != nil && n > 0 && n < len(buf) {
+	if cw.ob != nil {
+		cw.ob(frames, total)
+	}
+	if err != nil && n > 0 && n < int64(total) {
 		// A prefix reached the peer: the stream is mid-frame and every
 		// further byte would be parsed as garbage.
 		return &partialFlushError{err: err}

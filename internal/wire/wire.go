@@ -106,7 +106,15 @@ func acquireBuf(n int) *Buf {
 // the coalescing writer share, so one buffer can hold many frames and a
 // single Write flushes them all.
 func AppendFrame(dst []byte, f *Frame) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)))
+	return appendFrameHead(dst, f, 0)
+}
+
+// appendFrameHead is AppendFrame with room declared for extLen external
+// payload bytes that will be spliced in at write time (the zero-copy
+// tail of a leased response): the length prefix covers Payload+extLen,
+// but only Payload is encoded here.
+func appendFrameHead(dst []byte, f *Frame, extLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+len(f.Payload)+extLen))
 	dst = binary.LittleEndian.AppendUint16(dst, Magic)
 	dst = append(dst, Version, f.Type)
 	dst = binary.LittleEndian.AppendUint64(dst, f.ID)
