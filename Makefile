@@ -4,7 +4,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint vet ftclint verify bench clean
+.PHONY: build test race lint vet ftclint verify bench adaptft clean
 
 build:
 	go build ./...
@@ -32,6 +32,12 @@ verify: build lint test
 
 bench:
 	go test -run=NONE -bench=. -benchtime=100x ./internal/hashring ./internal/rpc
+
+# adaptft regenerates the adaptive-vs-static policy comparison
+# (results/BENCH_adaptft.json): 2 phase-shift schedules x 3 seeds,
+# adaptive must beat every static policy on each block.
+adaptft:
+	go run ./cmd/ftcbench -adaptft
 
 clean:
 	go clean ./...

@@ -45,6 +45,13 @@ func main() {
 	hpTrace := flag.Bool("trace", false, "attribution mode: trace every hotpath read and decompose the read p99 into owner/replica/hedge/retry/queue/storage components")
 	hpTraceOut := flag.String("traceout", "", "trace: also append the markdown attribution table to this file")
 	chaosSoak := flag.Bool("chaos", false, "run a seeded fault-injection soak against a live in-process cluster")
+	adaptFT := flag.Bool("adaptft", false, "compare the adaptive policy controller against every static strategy over seeded phase-shift schedules, JSON to -adaptout")
+	aftUnit := flag.Duration("unit", time.Second, "adaptft: base duration of one schedule phase")
+	aftPFSDelay := flag.Duration("pfsdelay", 10*time.Millisecond, "adaptft: injected PFS read latency during contention phases")
+	aftReadDelay := flag.Duration("readdelay", time.Millisecond, "adaptft: per-read device service time on servers")
+	aftSeeds := flag.Int("seeds", 3, "adaptft: number of consecutive seeds starting at -seed")
+	aftReps := flag.Int("reps", 2, "adaptft: best-of-N runs per policy (cancels machine noise)")
+	aftOut := flag.String("adaptout", filepath.Join("results", "BENCH_adaptft.json"), "adaptft: JSON result path ('' = stdout only)")
 	ingestBench := flag.Bool("ingest", false, "drive the write path: sync puts vs the batched async pipeline, JSON to -out")
 	ingBatch := flag.Int("batch", 64, "ingest: max entries per wire batch")
 	ingFlushEvery := flag.Int("flushevery", 4096, "ingest: puts between explicit Flush barriers")
@@ -132,6 +139,48 @@ func main() {
 			out:          *mtOut,
 		}); err != nil {
 			benchLog.Error("memtier run failed", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *adaptFT {
+		// The comparison needs a fleet wide enough that one dead arc is a
+		// small fraction of placements: 16 nodes unless -nodes was given,
+		// and a smaller dataset so epochs resolve within a phase.
+		nodes, clients, files := *hpNodes, *hpClients, *hpFiles
+		nodesSet, clientsSet, filesSet := false, false, false
+		flag.Visit(func(f *flag.Flag) {
+			nodesSet = nodesSet || f.Name == "nodes"
+			clientsSet = clientsSet || f.Name == "clients"
+			filesSet = filesSet || f.Name == "files"
+		})
+		if !nodesSet {
+			nodes = 16
+		}
+		if !clientsSet {
+			clients = 4
+		}
+		if !filesSet {
+			files = 200
+		}
+		seeds := make([]int64, 0, *aftSeeds)
+		for i := 0; i < *aftSeeds; i++ {
+			seeds = append(seeds, *seed+int64(i))
+		}
+		if err := runAdaptFT(adaptftConfig{
+			nodes:     nodes,
+			clients:   clients,
+			files:     files,
+			fileBytes: *hpFileBytes,
+			unit:      *aftUnit,
+			pfsDelay:  *aftPFSDelay,
+			readDelay: *aftReadDelay,
+			seeds:     seeds,
+			reps:      *aftReps,
+			out:       *aftOut,
+		}); err != nil {
+			benchLog.Error("adaptft run failed", "err", err)
 			os.Exit(1)
 		}
 		return

@@ -9,6 +9,8 @@
 //	ftcctl -servers ... ping
 //	ftcctl trace http://host0:9090 http://host1:9090   # fetch /debug/traces, stitch by trace id
 //	ftcctl tiers http://host0:9090 http://host1:9090   # per-node storage-tier occupancy + hit ratios
+//	ftcctl policy http://host0:9090                    # adaptive policy: active strategy + decision history
+//	ftcctl -force ftpfs policy http://host0:9090       # pin the policy (-force auto releases)
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	benchIters := flag.Int("iters", 100, "bench: read iterations per path")
 	traceMax := flag.Int("trace-max", 0, "trace: fetch at most N traces per endpoint (0 = all kept)")
 	traceErrs := flag.Bool("trace-errs", false, "trace: show only traces with an error-class fragment")
+	forceKind := flag.String("force", "", "policy: pin the adaptive strategy (noft|ftpfs|ftnvme) or release with auto")
 	traced := flag.Bool("traced", false, "propagate trace context with this invocation's RPCs, so server flight recorders capture fragments (view with ftcctl trace)")
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 	}
 
 	if flag.NArg() < 1 {
-		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args] | ftcctl <trace|tiers> <telemetry-url>..."))
+		fail(fmt.Errorf("usage: ftcctl -servers ... <get|stat|stats|ping|ring|bench> [args] | ftcctl <trace|tiers|policy> <telemetry-url>..."))
 	}
 
 	// trace talks to telemetry HTTP endpoints, not the RPC fleet, so it
@@ -71,6 +74,20 @@ func main() {
 			fail(fmt.Errorf("usage: ftcctl tiers <telemetry-url>...  (e.g. ftcctl tiers http://host0:9090 http://host1:9090)"))
 		}
 		if err := runTiers(urls); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	// policy also talks to telemetry endpoints: the adaptive controller's
+	// active strategy, live signals, and decision history, plus the
+	// -force operator override.
+	if flag.Arg(0) == "policy" {
+		urls := flag.Args()[1:]
+		if len(urls) == 0 {
+			fail(fmt.Errorf("usage: ftcctl [-force noft|ftpfs|ftnvme|auto] policy <telemetry-url>..."))
+		}
+		if err := runPolicy(urls, *forceKind); err != nil {
 			fail(err)
 		}
 		return

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// policyState mirrors the ftpolicy "policy" debug section structurally,
+// so the tool keeps working as the section grows fields.
+type policyState struct {
+	Active    string          `json:"active"`
+	Forced    string          `json:"forced"`
+	Switches  int64           `json:"switches"`
+	Tick      int64           `json:"tick"`
+	Signals   policySignals   `json:"signals"`
+	Decisions []policyRow     `json:"decisions"`
+	Sections  json.RawMessage `json:"-"`
+}
+
+type policySignals struct {
+	Failures   float64 `json:"failures"`
+	Recoveries float64 `json:"recoveries"`
+	Timeouts   float64 `json:"timeouts"`
+	DirectPFS  float64 `json:"direct_pfs"`
+	ServedPFS  float64 `json:"served_pfs"`
+	FailedDown float64 `json:"failed_down"`
+	PFSLatMs   float64 `json:"pfs_lat_ms"`
+}
+
+type policyRow struct {
+	Seq    int64  `json:"seq"`
+	Tick   int64  `json:"tick"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+	Forced bool   `json:"forced"`
+}
+
+// runPolicy is the adaptive-policy operator view: for each telemetry
+// endpoint, the active strategy, any operator pin, the live signal
+// snapshot, and the recent decision history with the reasons that
+// triggered each switch. With force != "" it instead POSTs the
+// policy-force control action ("noft"/"ftpfs"/"ftnvme" pins, "auto"
+// releases) to every endpoint before reporting.
+func runPolicy(urls []string, force string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if force != "" {
+		for _, base := range urls {
+			u := strings.TrimSuffix(base, "/") + "/control/policy-force?arg=" + force
+			resp, err := client.Post(u, "text/plain", nil)
+			if err != nil {
+				return fmt.Errorf("force %s: %w", u, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("force %s: HTTP %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			fmt.Printf("%s: forced policy %q\n", base, force)
+		}
+	}
+
+	type debugState struct {
+		Sections map[string]json.RawMessage `json:"sections"`
+	}
+	for _, base := range urls {
+		u := strings.TrimSuffix(base, "/") + "/debug/ftcache?events=0"
+		resp, err := client.Get(u)
+		if err != nil {
+			return fmt.Errorf("fetch %s: %w", u, err)
+		}
+		var st debugState
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode %s: %w", u, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fetch %s: HTTP %d", u, resp.StatusCode)
+		}
+		raw, ok := st.Sections["policy"]
+		if !ok || string(raw) == "null" {
+			fmt.Printf("%s: no adaptive policy controller\n", base)
+			continue
+		}
+		var ps policyState
+		if err := json.Unmarshal(raw, &ps); err != nil {
+			return fmt.Errorf("decode %s policy section: %w", u, err)
+		}
+		pin := "auto"
+		if ps.Forced != "" {
+			pin = "forced=" + ps.Forced
+		}
+		fmt.Printf("%s: active=%s (%s) switches=%d tick=%d\n", base, ps.Active, pin, ps.Switches, ps.Tick)
+		fmt.Printf("  signals: failures=%.0f recoveries=%.0f timeouts=%.0f direct-pfs=%.0f served-pfs=%.0f down=%.0f pfs-lat=%.2fms\n",
+			ps.Signals.Failures, ps.Signals.Recoveries, ps.Signals.Timeouts,
+			ps.Signals.DirectPFS, ps.Signals.ServedPFS, ps.Signals.FailedDown, ps.Signals.PFSLatMs)
+		if len(ps.Decisions) == 0 {
+			fmt.Println("  no decisions recorded")
+			continue
+		}
+		fmt.Printf("  %-5s %-6s %-8s %-8s %-15s %s\n", "SEQ", "TICK", "FROM", "TO", "REASON", "FORCED")
+		for _, d := range ps.Decisions {
+			forced := ""
+			if d.Forced {
+				forced = "yes"
+			}
+			fmt.Printf("  %-5d %-6d %-8s %-8s %-15s %s\n", d.Seq, d.Tick, d.From, d.To, d.Reason, forced)
+		}
+	}
+	return nil
+}

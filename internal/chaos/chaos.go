@@ -47,6 +47,7 @@ const (
 	KindConnDrop      = "conn-drop"      // an active conn was killed
 	KindCrash         = "crash"          // node crash (plan executor)
 	KindRestart       = "restart"        // node restart (plan executor)
+	KindPFSDelay      = "pfs-delay"      // PFS read-delay change (plan executor)
 )
 
 // Config tunes a Controller.

@@ -1,0 +1,177 @@
+// Phased plans: regime-shift schedules for the adaptive policy
+// controller. Where GeneratePlan mixes every fault kind uniformly over
+// the horizon, GeneratePhasedPlan strings together named phases — calm,
+// failure burst, heal, PFS contention — each with its own fault-rate
+// knobs, so a soak (or ftcbench -adaptft) can walk the workload through
+// exactly the regime changes the ftpolicy controller is supposed to
+// detect and react to. Same determinism contract as GeneratePlan: the
+// identical (seed, nodes, phases) input always yields the identical
+// event sequence.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase is one regime segment of a phased plan.
+type Phase struct {
+	// Name labels the phase in summaries and logs ("calm", "burst", ...).
+	Name string
+	// Duration is the phase length. <= 0 phases are skipped.
+	Duration time.Duration
+	// MeanGap is the mean time between crash injections inside the
+	// phase; <= 0 means the phase injects no crashes (calm/heal).
+	MeanGap time.Duration
+	// KillFrac is the probability a crash is a hard kill rather than an
+	// unresponsive hang (0..1).
+	KillFrac float64
+	// MeanDown is the mean down-window per crash; <= 0 selects 500ms.
+	// Restarts are capped at the plan horizon so every plan ends healed.
+	MeanDown time.Duration
+	// MaxDownFrac caps the fraction of nodes simultaneously crashed
+	// during the phase; <= 0 selects 0.25 (at least 1 node may drop).
+	MaxDownFrac float64
+	// PFSDelay is the injected fleet-wide PFS read delay for the phase
+	// (the contention model); it is installed at phase entry and the
+	// following phase's value replaces it.
+	PFSDelay time.Duration
+}
+
+// GeneratePhasedPlan builds a deterministic multi-phase fault schedule
+// over nodes from seed. Each phase contributes crash/restart events at
+// its own rate plus an EvPFSDelay event at its boundary whenever the
+// injected PFS delay changes; the final phase end emits a closing
+// EvPFSDelay 0 if needed, so a completed plan always leaves the PFS
+// clean and the fleet healed.
+func GeneratePhasedPlan(seed int64, nodes []string, phases []Phase) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := time.Duration(0)
+	for _, ph := range phases {
+		if ph.Duration > 0 {
+			horizon += ph.Duration
+		}
+	}
+	p := Plan{Seed: seed, Horizon: horizon}
+	downUntil := make(map[string]time.Duration) // node → restart time
+
+	downAt := func(t time.Duration) int {
+		n := 0
+		for _, until := range downUntil {
+			if until > t {
+				n++
+			}
+		}
+		return n
+	}
+
+	start := time.Duration(0)
+	prevDelay := time.Duration(0)
+	for _, ph := range phases {
+		if ph.Duration <= 0 {
+			continue
+		}
+		end := start + ph.Duration
+		if ph.PFSDelay != prevDelay {
+			p.Events = append(p.Events, Event{At: start, Kind: EvPFSDelay, Delay: ph.PFSDelay})
+			prevDelay = ph.PFSDelay
+		}
+		if ph.MeanGap > 0 {
+			meanDown := ph.MeanDown
+			if meanDown <= 0 {
+				meanDown = 500 * time.Millisecond
+			}
+			maxFrac := ph.MaxDownFrac
+			if maxFrac <= 0 {
+				maxFrac = 0.25
+			}
+			maxDown := int(float64(len(nodes)) * maxFrac)
+			if maxDown < 1 {
+				maxDown = 1
+			}
+			t := start + ph.MeanGap/2 + time.Duration(rng.Int63n(int64(ph.MeanGap)))
+			for t < end {
+				node := nodes[rng.Intn(len(nodes))]
+				dur := meanDown/2 + time.Duration(rng.Int63n(int64(meanDown)))
+				if t+dur > horizon {
+					dur = horizon - t
+				}
+				busyUntil, busy := downUntil[node]
+				switch {
+				case busy && busyUntil > t:
+					// Node already down; skip this slot.
+				case downAt(t) >= maxDown:
+					// Phase down-budget exhausted; skip this slot.
+				default:
+					p.Events = append(p.Events,
+						Event{At: t, Kind: EvCrash, Node: node, Kill: rng.Float64() < ph.KillFrac},
+						Event{At: t + dur, Kind: EvRestart, Node: node})
+					downUntil[node] = t + dur
+				}
+				t += ph.MeanGap/2 + time.Duration(rng.Int63n(int64(ph.MeanGap)))
+			}
+		}
+		start = end
+	}
+	if prevDelay != 0 {
+		p.Events = append(p.Events, Event{At: horizon, Kind: EvPFSDelay, Delay: 0})
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p
+}
+
+// PhasesCalmBurstHealContention is the canonical regime walk for
+// adaptive-policy evaluation: a calm warm-up, a dense failure burst
+// (rapid unresponsive flaps), a heal window, then sustained PFS
+// contention (pfsDelay added to every PFS read) with a rolling set of
+// long-lived node losses — the losses keep a meaningful key fraction
+// on the dead arcs, so per-read PFS redirection pays the full
+// contention price. unit is the per-phase duration base.
+func PhasesCalmBurstHealContention(unit, pfsDelay time.Duration) []Phase {
+	return []Phase{
+		{Name: "calm", Duration: unit},
+		{Name: "burst", Duration: unit, MeanGap: unit / 10, KillFrac: 0.2,
+			MeanDown: unit / 5, MaxDownFrac: 0.35},
+		{Name: "heal", Duration: unit / 2},
+		{Name: "contention", Duration: unit, MeanGap: unit / 8, KillFrac: 1.0,
+			MeanDown: 10 * unit, MaxDownFrac: 0.3, PFSDelay: pfsDelay},
+		{Name: "drain", Duration: unit / 2},
+	}
+}
+
+// PhasesContentionFirst reverses the stress ordering: PFS contention
+// with churning short node losses, a breather, then a failure burst
+// into a final heal — the mirror-image schedule, so a controller tuned
+// to one ordering can't win by accident. The contention losses are
+// short-lived (unlike the sibling schedule's) so the fleet is healed
+// again before the burst phase starts.
+func PhasesContentionFirst(unit, pfsDelay time.Duration) []Phase {
+	return []Phase{
+		{Name: "calm", Duration: unit / 2},
+		{Name: "contention", Duration: unit, MeanGap: unit / 8, KillFrac: 1.0,
+			MeanDown: unit / 2, MaxDownFrac: 0.3, PFSDelay: pfsDelay},
+		{Name: "breather", Duration: unit / 2},
+		{Name: "burst", Duration: unit, MeanGap: unit / 10, KillFrac: 0.2,
+			MeanDown: unit / 5, MaxDownFrac: 0.35},
+		{Name: "drain", Duration: unit},
+	}
+}
+
+// PhaseSummary renders a one-line phase schedule for logs.
+func PhaseSummary(phases []Phase) string {
+	parts := make([]string, 0, len(phases))
+	for _, ph := range phases {
+		if ph.Duration <= 0 {
+			continue
+		}
+		s := fmt.Sprintf("%s=%s", ph.Name, ph.Duration)
+		if ph.PFSDelay > 0 {
+			s += fmt.Sprintf("(pfs+%s)", ph.PFSDelay)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " ")
+}

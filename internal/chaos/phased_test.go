@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = string(rune('a' + i))
+	}
+	return nodes
+}
+
+// Same (seed, nodes, phases) input must yield the identical plan —
+// that's what makes a failed adaptive soak replayable.
+func TestGeneratePhasedPlanDeterministic(t *testing.T) {
+	nodes := testNodes(16)
+	phases := PhasesCalmBurstHealContention(400*time.Millisecond, 2*time.Millisecond)
+	for _, seed := range []int64{1, 7, 42} {
+		a := GeneratePhasedPlan(seed, nodes, phases)
+		b := GeneratePhasedPlan(seed, nodes, phases)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%+v\nvs\n%+v", seed, a, b)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+	}
+	// Different seeds should (overwhelmingly) differ.
+	a := GeneratePhasedPlan(1, nodes, phases)
+	b := GeneratePhasedPlan(2, nodes, phases)
+	if reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("seeds 1 and 2 produced identical event sequences")
+	}
+}
+
+// Every phased plan must end healed: each EvCrash paired with an
+// EvRestart at or before the horizon, and the final PFS delay cleared.
+func TestGeneratePhasedPlanEndsHealed(t *testing.T) {
+	nodes := testNodes(16)
+	for _, phases := range [][]Phase{
+		PhasesCalmBurstHealContention(400*time.Millisecond, 2*time.Millisecond),
+		PhasesContentionFirst(400*time.Millisecond, 2*time.Millisecond),
+	} {
+		p := GeneratePhasedPlan(42, nodes, phases)
+		down := make(map[string]bool)
+		lastDelay := time.Duration(0)
+		for _, ev := range p.Events {
+			if ev.At > p.Horizon {
+				t.Fatalf("event past horizon: %+v (horizon %s)", ev, p.Horizon)
+			}
+			switch ev.Kind {
+			case EvCrash:
+				if down[ev.Node] {
+					t.Fatalf("double crash without restart: %+v", ev)
+				}
+				down[ev.Node] = true
+			case EvRestart:
+				if !down[ev.Node] {
+					t.Fatalf("restart without crash: %+v", ev)
+				}
+				delete(down, ev.Node)
+			case EvPFSDelay:
+				lastDelay = ev.Delay
+			default:
+				t.Fatalf("unexpected event kind in phased plan: %+v", ev)
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("plan ends with nodes still down: %v", down)
+		}
+		if lastDelay != 0 {
+			t.Fatalf("plan ends with PFS delay %s still installed", lastDelay)
+		}
+	}
+}
+
+// The burst phase must actually be a burst: the bulk of the crash
+// events land inside it, none in calm/heal.
+func TestGeneratePhasedPlanPhaseShape(t *testing.T) {
+	unit := 400 * time.Millisecond
+	phases := PhasesCalmBurstHealContention(unit, 2*time.Millisecond)
+	p := GeneratePhasedPlan(7, testNodes(16), phases)
+	calmEnd := unit
+	burstEnd := 2 * unit
+	inCalm, inBurst := 0, 0
+	for _, ev := range p.Events {
+		if ev.Kind != EvCrash {
+			continue
+		}
+		switch {
+		case ev.At < calmEnd:
+			inCalm++
+		case ev.At < burstEnd:
+			inBurst++
+		}
+	}
+	if inCalm != 0 {
+		t.Fatalf("calm phase has %d crashes", inCalm)
+	}
+	if inBurst < 3 {
+		t.Fatalf("burst phase has only %d crashes", inBurst)
+	}
+}

@@ -35,6 +35,10 @@ const (
 	EvHeal
 	// EvRestart restarts a crashed node; executed via Actions.
 	EvRestart
+	// EvPFSDelay (re)sets the injected fleet-wide PFS read delay to
+	// Delay (0 clears it); executed via Actions.SetPFSDelay. Phased
+	// plans use it to model PFS contention storms.
+	EvPFSDelay
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,8 @@ func (k EventKind) String() string {
 		return "heal"
 	case EvRestart:
 		return "restart"
+	case EvPFSDelay:
+		return "pfs-delay"
 	default:
 		return "unknown"
 	}
@@ -210,6 +216,9 @@ type Actions struct {
 	Crash func(node string, kill bool)
 	// Restart brings a crashed node back up (listening again).
 	Restart func(node string)
+	// SetPFSDelay (re)sets the injected fleet-wide PFS read delay
+	// (phased plans' contention model); 0 clears it. Optional.
+	SetPFSDelay func(d time.Duration)
 }
 
 // Execute applies the plan against ctl (and act, for crash/restart) in
@@ -253,6 +262,11 @@ func (p Plan) Execute(ctx context.Context, ctl *Controller, act Actions) {
 				act.Restart(ev.Node)
 			}
 			ctl.Record(KindRestart)
+		case EvPFSDelay:
+			if act.SetPFSDelay != nil {
+				act.SetPFSDelay(ev.Delay)
+			}
+			ctl.Record(KindPFSDelay)
 		case EvHeal:
 			switch ev.Of {
 			case EvLatency:

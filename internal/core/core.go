@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ftcache"
+	"repro/internal/ftpolicy"
 	"repro/internal/hvac"
 	"repro/internal/loadctl"
 	"repro/internal/rpc"
@@ -181,6 +182,39 @@ func (c *Cluster) NewClientNet(network rpc.Network) (*hvac.Client, hvac.Router, 
 		return nil, nil, err
 	}
 	return cli, router, nil
+}
+
+// NewAdaptiveClientNet is NewClientNet for adaptive-strategy clusters:
+// it returns the client together with its Switchable router and, when
+// ctl is non-nil, attaches both to the policy controller so the
+// client's detector feeds the control loop and committed decisions
+// swap this client's routing. The cluster must have been built with
+// Strategy == ftcache.KindAdaptive.
+func (c *Cluster) NewAdaptiveClientNet(network rpc.Network, ctl *ftpolicy.Controller) (*hvac.Client, *ftcache.Switchable, error) {
+	cli, router, err := c.NewClientNet(network)
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, ok := router.(*ftcache.Switchable)
+	if !ok {
+		cli.Close()
+		return nil, nil, fmt.Errorf("core: cluster strategy %q is not adaptive", c.cfg.Strategy)
+	}
+	if ctl != nil {
+		ctl.Attach(cli, sw)
+	}
+	return cli, sw, nil
+}
+
+// PolicyProbe returns a PFS-latency probe for the adaptive policy
+// controller: one timed Get of a staged path per tick. The probe sees
+// the same injected contention delay every real PFS consumer does.
+func (c *Cluster) PolicyProbe(path string) func() (time.Duration, bool) {
+	return func() (time.Duration, bool) {
+		t0 := time.Now()
+		_, err := c.pfs.Get(path)
+		return time.Since(t0), err == nil
+	}
 }
 
 // Fail takes node down in the given mode. Unknown nodes are an error;

@@ -221,14 +221,16 @@ const (
 	KindNVMe StrategyKind = "ftnvme"
 )
 
-// NewRouter constructs the named strategy. virtualNodes only applies to
-// KindNVMe.
+// NewRouter constructs the named strategy. virtualNodes applies to
+// KindNVMe and KindAdaptive (the ring-placement strategies).
 func NewRouter(kind StrategyKind, nodes []cluster.NodeID, virtualNodes int) hvac.Router {
 	switch kind {
 	case KindPFS:
 		return NewPFSRedirect(nodes)
 	case KindNVMe:
 		return NewRingRecache(nodes, virtualNodes)
+	case KindAdaptive:
+		return NewSwitchable(nodes, virtualNodes, KindNVMe)
 	default:
 		return NewNoFT(nodes)
 	}

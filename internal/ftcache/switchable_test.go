@@ -1,0 +1,180 @@
+package ftcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hvac"
+)
+
+func switchNodes(n int) []cluster.NodeID {
+	nodes := make([]cluster.NodeID, n)
+	for i := range nodes {
+		nodes[i] = cluster.NodeID(fmt.Sprintf("node-%02d", i))
+	}
+	return nodes
+}
+
+// The whole adaptive family shares ring placement: with the same vnode
+// config every member must agree bit-for-bit on healthy-state
+// ownership, so a switch moves zero keys while the fleet is healthy.
+func TestSwitchableHealthyOwnershipIdentical(t *testing.T) {
+	nodes := switchNodes(16)
+	s := NewSwitchable(nodes, 100, KindNVMe)
+	for i := 0; i < 2000; i++ {
+		path := fmt.Sprintf("/data/train/shard-%04d.bin", i)
+		want := s.Member(KindNVMe).Route(path)
+		if want.Kind != hvac.RouteNode {
+			t.Fatalf("recache member did not route %q to a node: %+v", path, want)
+		}
+		for _, kind := range []StrategyKind{KindNoFT, KindPFS} {
+			got := s.Member(kind).Route(path)
+			if got.Kind != hvac.RouteNode || got.Node != want.Node {
+				t.Fatalf("%s owner for %q = %+v, recache owner %+v", kind, path, got, want)
+			}
+		}
+	}
+}
+
+// Failure evidence must fan out to every member, active or not, so a
+// later switch needs no catch-up: the PFS member redirects, the recache
+// member remaps, the noft member aborts — all from one NodeFailed.
+func TestSwitchableEvidenceFanOut(t *testing.T) {
+	nodes := switchNodes(8)
+	s := NewSwitchable(nodes, 100, KindNVMe)
+
+	// Find a path and its owner.
+	path := "/data/val/shard-0000.bin"
+	d := s.Route(path)
+	if d.Kind != hvac.RouteNode {
+		t.Fatalf("initial route: %+v", d)
+	}
+	owner := d.Node
+
+	s.NodeFailed(owner)
+
+	if got := s.Member(KindPFS).Route(path); got.Kind != hvac.RoutePFS {
+		t.Fatalf("pfs member after failure: %+v, want RoutePFS", got)
+	}
+	if got := s.Member(KindNoFT).Route(path); got.Kind != hvac.RouteAbort {
+		t.Fatalf("noft member after failure: %+v, want RouteAbort", got)
+	}
+	if got := s.Member(KindNVMe).Route(path); got.Kind != hvac.RouteNode || got.Node == owner {
+		t.Fatalf("recache member after failure: %+v, want a different live node", got)
+	}
+
+	s.NodeRecovered(owner)
+
+	for _, kind := range []StrategyKind{KindNoFT, KindPFS, KindNVMe} {
+		if got := s.Member(kind).Route(path); got.Kind != hvac.RouteNode || got.Node != owner {
+			t.Fatalf("%s member after recovery: %+v, want owner %s back", kind, got, owner)
+		}
+	}
+}
+
+// A RouteAbort from the active noft member must escape to the recache
+// strategy instead of surfacing: adaptive jobs never observe aborts.
+func TestSwitchableNoFTEscape(t *testing.T) {
+	nodes := switchNodes(8)
+	s := NewSwitchable(nodes, 100, KindNoFT)
+	var gotFrom, gotTo StrategyKind
+	var gotAuto bool
+	s.OnSwitch(func(from, to StrategyKind, auto bool) { gotFrom, gotTo, gotAuto = from, to, auto })
+
+	path := "/data/train/shard-0042.bin"
+	if d := s.Route(path); d.Kind != hvac.RouteNode {
+		t.Fatalf("healthy noft route: %+v", d)
+	}
+
+	s.NodeFailed(nodes[0])
+	d := s.Route(path) // any path: noft aborts globally after a failure
+	if d.Kind == hvac.RouteAbort {
+		t.Fatal("adaptive route surfaced RouteAbort")
+	}
+	if s.Kind() != KindNVMe {
+		t.Fatalf("active after escape = %s, want %s", s.Kind(), KindNVMe)
+	}
+	if gotFrom != KindNoFT || gotTo != KindNVMe || !gotAuto {
+		t.Fatalf("onSwitch saw (%s,%s,auto=%v), want (noft,ftnvme,true)", gotFrom, gotTo, gotAuto)
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", s.Switches())
+	}
+}
+
+// SwitchTo semantics: unknown kinds and self-switches are no-ops.
+func TestSwitchableSwitchTo(t *testing.T) {
+	s := NewSwitchable(switchNodes(4), 100, KindNVMe)
+	if _, ok := s.SwitchTo(KindNVMe); ok {
+		t.Fatal("self-switch reported a swap")
+	}
+	if _, ok := s.SwitchTo(StrategyKind("bogus")); ok {
+		t.Fatal("unknown kind reported a swap")
+	}
+	from, ok := s.SwitchTo(KindPFS)
+	if !ok || from != KindNVMe || s.Kind() != KindPFS {
+		t.Fatalf("SwitchTo(pfs) = (%s,%v), active %s", from, ok, s.Kind())
+	}
+	if s.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", s.Switches())
+	}
+}
+
+// Torn-snapshot check (run under -race): concurrent routing during
+// rapid switching must always observe exactly one member's coherent
+// answer — a RouteNode to a live node or a RoutePFS, never an abort,
+// never an empty node.
+func TestSwitchableConcurrentSwitchRoute(t *testing.T) {
+	nodes := switchNodes(8)
+	s := NewSwitchable(nodes, 100, KindNVMe)
+	live := make(map[cluster.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		live[n] = true
+	}
+	// One failed node so the members genuinely disagree on fallback.
+	s.NodeFailed(nodes[0])
+	live[nodes[0]] = false
+
+	stop := make(chan struct{})
+	switcherDone := make(chan struct{})
+	go func() {
+		defer close(switcherDone)
+		kinds := []StrategyKind{KindPFS, KindNVMe, KindPFS, KindNVMe}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.SwitchTo(kinds[i%len(kinds)])
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				path := fmt.Sprintf("/data/%d/shard-%04d.bin", g, i)
+				d := s.Route(path)
+				switch d.Kind {
+				case hvac.RouteNode:
+					if !live[d.Node] {
+						t.Errorf("routed to dead node %s", d.Node)
+						return
+					}
+				case hvac.RoutePFS:
+					// ftpfs fallback for the failed node's arcs — fine.
+				default:
+					t.Errorf("unexpected decision %+v", d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-switcherDone
+}

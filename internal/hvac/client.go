@@ -182,6 +182,16 @@ type Client struct {
 	// ingest is the optional batched async put pipeline (nil = off).
 	ingest *ingester
 
+	// retryBudget, when >= 0, overrides cfg.Retry's conn-class retry
+	// count at runtime (adaptive policy knob). -1 = use the policy.
+	// Only meaningful when cfg.Retry is non-nil.
+	retryBudget atomic.Int32
+
+	// pfsLatNs is a streaming EWMA (α = 1/8) of direct-PFS read latency
+	// in ns — the client-side contention signal the adaptive policy
+	// controller watches. 0 until the first PFS read.
+	pfsLatNs atomic.Int64
+
 	// replSem bounds concurrent async replica pushes.
 	replSem chan struct{}
 	replWG  sync.WaitGroup
@@ -227,6 +237,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		replSem:   make(chan struct{}, 16),
 		latency:   stats.NewLatencyTracker(),
 	}
+	c.retryBudget.Store(-1)
 	c.tracker.OnFailure(cfg.Router.NodeFailed)
 	if ra, ok := cfg.Router.(RecoveryAware); ok {
 		c.tracker.OnRecovery(ra.NodeRecovered)
@@ -527,7 +538,9 @@ func (c *Client) readPFS(ctx context.Context, path string, offset, length int64)
 	if c.cfg.PFS == nil {
 		return nil, errors.New("hvac: RoutePFS without a PFS handle")
 	}
+	t0 := time.Now()
 	data, err = c.cfg.PFS.Get(path)
+	c.observePFSLatency(time.Since(t0))
 	if err != nil {
 		if errors.Is(err, storage.ErrNotFound) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
@@ -542,6 +555,36 @@ func (c *Client) readPFS(ctx context.Context, path string, offset, length int64)
 	cliMetrics().directPFS.Inc()
 	c.directBytes.Add(int64(len(body)))
 	return body, nil
+}
+
+// observePFSLatency folds one direct-PFS read latency into the EWMA.
+// Concurrent updates may drop each other's sample (load/store, not
+// CAS-looped) — the signal is a trend line, not an exact mean.
+func (c *Client) observePFSLatency(d time.Duration) {
+	old := c.pfsLatNs.Load()
+	if old == 0 {
+		c.pfsLatNs.Store(int64(d))
+		return
+	}
+	c.pfsLatNs.Store(old + (int64(d)-old)/8)
+}
+
+// PFSReadLatency returns the EWMA of this client's direct-PFS read
+// latency and whether any PFS read has been observed yet.
+func (c *Client) PFSReadLatency() (time.Duration, bool) {
+	v := c.pfsLatNs.Load()
+	return time.Duration(v), v != 0
+}
+
+// SetRetryBudget overrides the conn-class retry count at runtime
+// (adaptive policy knob): n >= 0 replaces cfg.Retry's budget, n < 0
+// restores it. A no-op unless the client was built with a Retry policy
+// (the backoff schedule still comes from it).
+func (c *Client) SetRetryBudget(n int) {
+	if n < 0 {
+		n = -1
+	}
+	c.retryBudget.Store(int32(n))
 }
 
 // readRouted performs one routed read attempt. Without load control it
@@ -590,6 +633,9 @@ func (c *Client) readFromNodeOpts(ctx context.Context, node cluster.NodeID, path
 	budget := 0
 	if c.cfg.Retry != nil {
 		budget = c.cfg.Retry.Retries()
+		if o := c.retryBudget.Load(); o >= 0 {
+			budget = int(o)
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		data, err, class := c.readNodeOnce(ctx, node, path, offset, length, note, attempt)
@@ -791,7 +837,7 @@ func (c *Client) hotCandidates(owner cluster.NodeID, path string) []cluster.Node
 	if !ok {
 		return []cluster.NodeID{owner}
 	}
-	owners := repl.Replicas(path, 1+c.load.Config().Replicas)
+	owners := repl.Replicas(path, 1+c.load.Replicas())
 	cands := make([]cluster.NodeID, 0, len(owners))
 	for _, n := range owners {
 		if c.tracker.IsAlive(n) {
@@ -940,7 +986,7 @@ func (c *Client) maybePushHot(path string, data []byte) {
 	if !ok || c.closed.Load() || !c.load.MarkPushed(path) {
 		return
 	}
-	owners := repl.Replicas(path, 1+c.load.Config().Replicas)
+	owners := repl.Replicas(path, 1+c.load.Replicas())
 	if len(owners) <= 1 {
 		return
 	}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/xhash"
 )
@@ -500,6 +501,11 @@ type PFS struct {
 	mask   uint64
 	bytes  atomic.Int64
 
+	// readDelay, when > 0 (ns), stalls every Get by that long — the
+	// chaos harness's PFS-contention model (a loaded Lustre answering
+	// slowly fleet-wide). One atomic load when unset.
+	readDelay atomic.Int64
+
 	reads       atomic.Int64
 	readBytes   atomic.Int64
 	metadataOps atomic.Int64
@@ -541,6 +547,9 @@ func (p *PFS) Put(path string, data []byte) error {
 //
 //ftc:hotpath
 func (p *PFS) Get(path string) ([]byte, error) {
+	if d := p.readDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	p.metadataOps.Add(1)
 	sh := p.shardFor(path)
 	sh.mu.RLock() //ftclint:ignore hotpathlock per-shard read lock is the sharded design; contention is 1/N by construction
@@ -598,3 +607,18 @@ func (p *PFS) ResetCounters() {
 	p.readBytes.Store(0)
 	p.metadataOps.Store(0)
 }
+
+// SetReadDelay injects a per-Get service delay (contention model);
+// d <= 0 clears it. Takes effect on the next read, fleet-wide — every
+// consumer of this PFS (server fallback, client direct read, policy
+// probe) observes the same slowdown, exactly like a congested shared
+// file system.
+func (p *PFS) SetReadDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.readDelay.Store(int64(d))
+}
+
+// ReadDelay returns the injected per-Get delay (0 = none).
+func (p *PFS) ReadDelay() time.Duration { return time.Duration(p.readDelay.Load()) }

@@ -44,6 +44,10 @@ const (
 	// probes passed, NVMe warmed, ring re-add committed. Detail is the
 	// node, Value the warmed byte count.
 	EventNodeRejoined
+	// EventPolicySwitch: the adaptive controller (or the noft escape
+	// hatch) swapped the active fault-tolerance strategy. Detail is
+	// "from->to", Value the cumulative switch count.
+	EventPolicySwitch
 )
 
 // String implements fmt.Stringer with stable wire-friendly names.
@@ -67,6 +71,8 @@ func (t EventType) String() string {
 		return "hot-key-flagged"
 	case EventNodeRejoined:
 		return "node-rejoined"
+	case EventPolicySwitch:
+		return "policy-switch"
 	default:
 		return "unknown"
 	}

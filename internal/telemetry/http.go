@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/trace"
@@ -18,9 +19,12 @@ import (
 //   - GET /debug/traces   — flight-recorder dump: retained request
 //     traces plus sampling stats (?max=N caps traces, ?canonical=1
 //     selects the byte-stable replay form)
+//   - POST /control/<name> — operator actions registered via
+//     RegisterControl (?arg=... is passed through); the one mutating
+//     surface, used by ftcctl policy -force
 //
-// The handler is read-only and lock-light; ftcserver mounts it behind
-// an opt-in -metrics listen address.
+// The GET surface is read-only and lock-light; ftcserver mounts the
+// handler behind an opt-in -metrics listen address.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -40,6 +44,23 @@ func Handler(r *Registry) http.Handler {
 		_ = enc.Encode(r.DebugSnapshot(n))
 	})
 	mux.Handle("/debug/traces", trace.HTTPHandler())
+	mux.HandleFunc("/control/", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "control actions are POST-only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(req.URL.Path, "/control/")
+		fn := r.controlHandler(name)
+		if fn == nil {
+			http.Error(w, "unknown control action "+strconv.Quote(name), http.StatusNotFound)
+			return
+		}
+		if err := fn(req.URL.Query().Get("arg")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
 	return mux
 }
 

@@ -129,15 +129,19 @@ type Registry struct {
 
 	debugMu sync.Mutex
 	debug   map[string]func() any
+
+	controlMu sync.Mutex
+	control   map[string]func(arg string) error
 }
 
 // NewRegistry creates an empty registry with a DefaultTraceCapacity
 // event trace.
 func NewRegistry() *Registry {
 	return &Registry{
-		byKey: make(map[string]*metricEntry),
-		trace: NewEventTrace(DefaultTraceCapacity),
-		debug: make(map[string]func() any),
+		byKey:   make(map[string]*metricEntry),
+		trace:   NewEventTrace(DefaultTraceCapacity),
+		debug:   make(map[string]func() any),
+		control: make(map[string]func(arg string) error),
 	}
 }
 
@@ -269,6 +273,24 @@ func (r *Registry) RegisterDebug(name string, fn func() any) {
 	r.debugMu.Lock()
 	r.debug[name] = fn
 	r.debugMu.Unlock()
+}
+
+// RegisterControl attaches a named operator action, served as
+// POST /control/<name>?arg=... by the HTTP handler (ftcctl policy
+// -force is the canonical caller). fn must be goroutine-safe; its error
+// is returned to the HTTP client verbatim. Re-registering a name
+// replaces the handler (latest wins), mirroring RegisterDebug.
+func (r *Registry) RegisterControl(name string, fn func(arg string) error) {
+	r.controlMu.Lock()
+	r.control[name] = fn
+	r.controlMu.Unlock()
+}
+
+// controlHandler returns the named control action, or nil.
+func (r *Registry) controlHandler(name string) func(arg string) error {
+	r.controlMu.Lock()
+	defer r.controlMu.Unlock()
+	return r.control[name]
 }
 
 // debugSections evaluates every provider outside the registry locks.
