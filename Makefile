@@ -4,7 +4,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint vet ftclint verify bench adaptft clean
+.PHONY: build test race lint vet ftclint static verify bench adaptft clean
 
 build:
 	go build ./...
@@ -26,6 +26,17 @@ vet:
 # vet-tool protocol so findings carry package context and caching.
 lint: ftclint vet
 	go vet -vettool=$(GOBIN)/ftclint ./...
+
+# static is the full static gate, exactly what CI's static job
+# enforces: gofmt (no unformatted files), go vet, then the ftclint
+# suite through the standalone driver — packages in dependency order,
+# cross-package facts, cycles and context/goroutine lifetimes included.
+# Set FTCLINT_CACHE=<dir> to reuse per-package results across runs.
+static: ftclint
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "$$unformatted"; echo "gofmt: the files above need formatting"; exit 1; fi
+	go vet ./...
+	$(GOBIN)/ftclint ./...
 
 # verify is the full local gate: what CI enforces, in one command.
 verify: build lint test

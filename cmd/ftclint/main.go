@@ -2,27 +2,46 @@
 // over Go packages. It enforces the repo's concurrency and resource
 // invariants statically: pooled wire-buffer lease discipline, the
 // lock-free hot-path rules, the retry-vs-detector error taxonomy,
-// all-or-nothing atomic field access, and bounded telemetry label
-// cardinality. See DESIGN.md §12.
+// all-or-nothing atomic field access, bounded telemetry label
+// cardinality, and the interprocedural rules of DESIGN.md §17 —
+// cross-package lock-order cycles, context threading, and goroutine
+// stoppability — whose verdicts travel between packages as facts.
 //
 // Two modes:
 //
-//	ftclint [packages]          standalone; defaults to ./...
+//	ftclint [-json] [-cache dir] [packages]   standalone; defaults to ./...
 //	go vet -vettool=$(command -v ftclint) ./...
+//
+// Standalone mode analyzes the matched packages in dependency order
+// (`go list -deps` order), so every package's imported facts exist
+// before the package itself is analyzed. With -cache, per-package
+// results (findings + exported facts) are reused across runs; the key
+// covers the tool binary, the package's source bytes, every dependency
+// export file in the listing, and the fact store contents at the
+// package's turn, so a body-only change in an upstream package that
+// alters its facts invalidates every dependent. -json emits findings
+// to stdout as a JSON array of {file,line,col,analyzer,message} for CI
+// annotation rendering instead of the human file:line text on stderr.
 //
 // The second form speaks cmd/go's vet-tool protocol (the same contract
 // x/tools' unitchecker implements): respond to -V=full with a stable
 // build identity, respond to -flags with the supported flag set, and
-// accept a *.cfg file describing one package's files and its import →
-// export-data maps. Findings go to stderr as file:line:col lines and
-// the exit status is non-zero when any survive suppression.
+// accept a *.cfg file describing one package's files, its import →
+// export-data maps, and its dependencies' fact files (PackageVetx).
+// Facts exported while checking a package are serialized to VetxOutput
+// for cmd/go to feed downstream. Findings go to stderr as
+// file:line:col lines and the exit status is non-zero when any survive
+// suppression.
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -48,24 +67,48 @@ func main() {
 		os.Exit(runVet(args[0]))
 	}
 
-	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
-		usage()
-		return
+	jsonOut := false
+	cacheDir := os.Getenv("FTCLINT_CACHE")
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return
+		case a == "-json":
+			jsonOut = true
+		case a == "-cache":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "ftclint: -cache needs a directory")
+				os.Exit(1)
+			}
+			i++
+			cacheDir = args[i]
+		case strings.HasPrefix(a, "-cache="):
+			cacheDir = strings.TrimPrefix(a, "-cache=")
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "ftclint: unknown flag %s\n", a)
+			usage()
+			os.Exit(1)
+		default:
+			patterns = append(patterns, a)
+		}
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(patterns, jsonOut, cacheDir))
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ftclint [packages]\n\nAnalyzers:\n")
-	for _, a := range analysis.All() {
+	fmt.Fprintf(os.Stderr, "usage: ftclint [-json] [-cache dir] [packages]\n\nAnalyzers:\n")
+	for _, a := range ftc.Expand(analysis.All()) {
 		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
 	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n  -json        findings to stdout as a JSON array of {file,line,col,analyzer,message}\n  -cache dir   reuse per-package results keyed by source + dep exports + facts (also $FTCLINT_CACHE)\n")
 	fmt.Fprintf(os.Stderr, "\nSuppress a justified false positive with\n  //ftclint:ignore <analyzer> <reason>\non or directly above the reported line.\n")
 }
 
-// printVersion emits the `name version ...` line cmd/go hashes into
-// its build cache key; the binary's own digest keys invalidation.
-func printVersion() {
+// toolDigest hashes the running binary: the cache and build identity
+// key component that invalidates everything when the analyzers change.
+func toolDigest() []byte {
 	h := sha256.New()
 	if exe, err := os.Executable(); err == nil {
 		if f, err := os.Open(exe); err == nil {
@@ -73,36 +116,191 @@ func printVersion() {
 			f.Close()
 		}
 	}
-	fmt.Printf("ftclint version devel buildID=%x\n", h.Sum(nil)[:16])
+	return h.Sum(nil)
 }
 
-// runStandalone loads the requested module packages and applies the
-// suite.
-func runStandalone(patterns []string) int {
+// printVersion emits the `name version ...` line cmd/go hashes into
+// its build cache key; the binary's own digest keys invalidation.
+func printVersion() {
+	fmt.Printf("ftclint version devel buildID=%x\n", toolDigest()[:16])
+}
+
+// A Finding is one surviving diagnostic in -json output.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// cacheEntry is one package's cached outcome: its findings and the
+// facts its analysis exported.
+type cacheEntry struct {
+	Findings []Finding `json:"findings"`
+	Facts    []byte    `json:"facts"`
+}
+
+// runStandalone analyzes the requested module packages in dependency
+// order with a shared fact store.
+func runStandalone(patterns []string, jsonOut bool, cacheDir string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "ftclint:", err)
+		return 1
+	}
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ftclint:", err)
-		return 1
+		return fail(err)
 	}
-	pkgs, err := load.Module(dir, patterns...)
+	listing, err := load.List(dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ftclint:", err)
-		return 1
+		return fail(err)
 	}
-	found := false
-	for _, pkg := range pkgs {
-		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All())
+	suite := analysis.All()
+	ftc.RegisterFactTypes(suite)
+	facts := ftc.NewFactStore()
+
+	var toolID, exportsID []byte
+	if cacheDir != "" {
+		if err := os.MkdirAll(cacheDir, 0o777); err != nil {
+			return fail(err)
+		}
+		toolID = toolDigest()
+		exportsID = exportsDigest(listing)
+	}
+
+	var all []Finding
+	for _, t := range listing.Targets {
+		var key string
+		if cacheDir != "" {
+			key, err = cacheKey(t, toolID, exportsID, facts)
+			if err != nil {
+				return fail(err)
+			}
+			if entry, ok := readCache(cacheDir, key); ok {
+				if err := facts.DecodeFacts(entry.Facts); err != nil {
+					return fail(fmt.Errorf("%s: corrupt fact cache: %w", t.PkgPath, err))
+				}
+				all = append(all, entry.Findings...)
+				continue
+			}
+		}
+		pkg, err := listing.Load(t)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ftclint:", err)
-			return 1
+			return fail(err)
 		}
+		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, suite, facts)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", t.PkgPath, err))
+		}
+		var fs []Finding
 		for _, d := range diags {
-			found = true
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			fs = append(fs, Finding{File: pos.Filename, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		all = append(all, fs...)
+		if cacheDir != "" {
+			blob, err := facts.EncodePackageFacts(t.PkgPath)
+			if err != nil {
+				return fail(err)
+			}
+			writeCache(cacheDir, key, cacheEntry{Findings: fs, Facts: blob})
 		}
 	}
-	if found {
+
+	if jsonOut {
+		out := all
+		if out == nil {
+			out = []Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(all) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// exportsDigest hashes every dependency export file in the listing.
+// Coarse by design: gc export data is not transitively self-contained,
+// so any dependency change anywhere invalidates every cached package —
+// soundness over hit rate.
+func exportsDigest(listing *load.Listing) []byte {
+	paths := make([]string, 0, len(listing.ExportFiles))
+	for p := range listing.ExportFiles {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+		if data, err := os.ReadFile(listing.ExportFiles[p]); err == nil {
+			h.Write(data)
+		}
+		h.Write([]byte{0})
+	}
+	return h.Sum(nil)
+}
+
+// cacheKey derives the package's cache key: tool binary, the global
+// dependency export digest, the package's own source bytes, and the
+// fact store contents at this package's turn in the dependency order
+// (which covers body-only upstream changes that altered facts).
+func cacheKey(t load.Target, toolID, exportsID []byte, facts *ftc.FactStore) (string, error) {
+	h := sha256.New()
+	h.Write(toolID)
+	h.Write(exportsID)
+	io.WriteString(h, t.PkgPath)
+	h.Write([]byte{0})
+	for _, path := range t.FilePaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		io.WriteString(h, path)
+		h.Write([]byte{0})
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	blob, err := facts.EncodePackageFacts(facts.PackagePaths()...)
+	if err != nil {
+		return "", err
+	}
+	h.Write(blob)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func readCache(dir, key string) (cacheEntry, bool) {
+	var e cacheEntry
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return e, false
+	}
+	if json.Unmarshal(data, &e) != nil {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// writeCache stores an entry best-effort: a cache write failure never
+// fails the lint run.
+func writeCache(dir, key string, e cacheEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(dir, key+".json"))
 }

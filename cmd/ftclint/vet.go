@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/analysis"
@@ -30,6 +31,7 @@ type vetConfig struct {
 	NonGoFiles  []string
 	ImportMap   map[string]string // import path as written -> canonical path
 	PackageFile map[string]string // canonical path -> export data file
+	PackageVetx map[string]string // canonical path -> dependency fact file
 	Standard    map[string]bool
 
 	VetxOnly   bool
@@ -57,6 +59,21 @@ func (v *vetImporter) ImportFrom(path, dir string, mode types.ImportMode) (*type
 	return v.gc.ImportFrom(path, dir, mode)
 }
 
+// moduleScope is the import-path prefix the suite analyzes: the module
+// that built this binary. cmd/go drives a vet tool over every
+// dependency unit — the standard library included — to thread facts
+// through the graph, but actually analyzing the runtime's own source
+// would tag nearly every function as blocking (mallocgc can start a GC
+// cycle that parks on a channel) and bury the module's findings.
+// Standalone mode has the same scope for free: go list only yields
+// module packages there.
+func moduleScope() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		return bi.Main.Path
+	}
+	return "repro"
+}
+
 // runVet executes one vet-protocol unit of work.
 func runVet(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
@@ -70,16 +87,34 @@ func runVet(cfgFile string) int {
 		return 1
 	}
 
-	// cmd/go expects the facts file to exist afterwards; the suite is
-	// package-local (no facts), so an empty one is always correct.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	// Dependency units outside the module export an empty fact set and
+	// report nothing; cmd/go still expects the vetx file to exist.
+	if mod := moduleScope(); cfg.ImportPath != mod && !strings.HasPrefix(cfg.ImportPath, mod+"/") {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "ftclint:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Load the dependencies' facts. Each vetx file carries its
+	// package's accumulated fact closure, so the union over direct
+	// PackageVetx entries covers the whole import graph.
+	suite := analysis.All()
+	ftc.RegisterFactTypes(suite)
+	facts := ftc.NewFactStore()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ftclint:", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
+		if err := facts.DecodeFacts(data); err != nil {
+			fmt.Fprintf(os.Stderr, "ftclint: reading facts from %s: %v\n", vetxFile, err)
+			return 1
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -116,11 +151,30 @@ func runVet(cfgFile string) int {
 		return 1
 	}
 
-	diags, err := ftc.RunPackage(fset, files, pkg.Types, pkg.Info, analysis.All())
+	diags, err := ftc.RunPackage(fset, files, pkg.Types, pkg.Info, suite, facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftclint:", err)
 		return 1
 	}
+
+	// Serialize the accumulated fact closure (this package's exports
+	// plus everything inherited) for downstream units. cmd/go expects
+	// the file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		blob, err := facts.EncodePackageFacts(facts.PackagePaths()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftclint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ftclint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	found := false
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)

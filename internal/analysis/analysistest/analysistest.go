@@ -38,24 +38,47 @@ type expectation struct {
 // diagnostics against the package's want comments.
 func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*ftc.Analyzer) {
 	t.Helper()
-	pkg, err := load.Dir(srcRoot, filepath.Join(srcRoot, filepath.FromSlash(pkgPath)))
+	RunMulti(t, srcRoot, []string{pkgPath}, analyzers...)
+}
+
+// RunMulti is the multi-package harness for interprocedural analyzers:
+// it loads every listed package from one shared loader, analyzes them
+// in the given order with one shared FactStore — list dependencies
+// before their importers, exactly like the module driver's dependency
+// order — and diffs diagnostics against want comments across all of
+// them. Facts exported while analyzing src/a are visible when src/b
+// (which imports a) is analyzed.
+func RunMulti(t *testing.T, srcRoot string, pkgPaths []string, analyzers ...*ftc.Analyzer) {
+	t.Helper()
+	dirs := make([]string, len(pkgPaths))
+	for i, p := range pkgPaths {
+		dirs[i] = filepath.Join(srcRoot, filepath.FromSlash(p))
+	}
+	pkgs, err := load.Dirs(srcRoot, dirs...)
 	if err != nil {
-		t.Fatalf("loading %s: %v", pkgPath, err)
+		t.Fatalf("loading %v: %v", pkgPaths, err)
 	}
 
-	expects, err := collectWants(pkg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers: %v", err)
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		es, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, es...)
 	}
 
-	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		if !claim(expects, pos, d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+	facts := ftc.NewFactStore()
+	for _, pkg := range pkgs {
+		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers, facts)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(expects, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			}
 		}
 	}
 	for _, e := range expects {

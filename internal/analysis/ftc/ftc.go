@@ -32,9 +32,19 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph rule statement shown by `ftclint -help`.
 	Doc string
-	// Run applies the check to one package and reports findings via
-	// pass.Reportf.
-	Run func(*Pass) error
+	// Requires lists analyzers that must run on the same package
+	// first; their Run results are available via Pass.ResultOf. The
+	// driver expands the set transitively (Expand).
+	Requires []*Analyzer
+	// FactTypes declares the Fact types this analyzer exports, for gob
+	// registration. An analyzer that exports a fact type it does not
+	// declare still works in-process but will not survive
+	// serialization (vetx files, the fact cache).
+	FactTypes []Fact
+	// Run applies the check to one package, reports findings via
+	// pass.Reportf, and may return a result value for analyzers that
+	// Require it.
+	Run func(*Pass) (any, error)
 }
 
 // A Diagnostic is one finding.
@@ -51,8 +61,34 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// ResultOf holds the Run results of this analyzer's Requires,
+	// keyed by analyzer.
+	ResultOf map[*Analyzer]any
 
+	facts  *FactStore
 	report func(Diagnostic)
+}
+
+// Expand returns analyzers plus every analyzer reachable through
+// Requires, dependencies first, each exactly once.
+func Expand(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := map[*Analyzer]bool{}
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, dep := range a.Requires {
+			visit(dep)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
 }
 
 // Reportf records a finding at pos.
@@ -110,6 +146,18 @@ type ignoreKey struct {
 // returned as diagnostics in their own right, attributed to "ftclint".
 type Suppressions struct {
 	keys map[ignoreKey]bool
+	used map[ignoreKey]bool
+	// sites records each well-formed suppression comment at its own
+	// position (the comment, not the covered line), for the stale-
+	// ignore audit.
+	sites []SuppressionSite
+}
+
+// A SuppressionSite is one well-formed `//ftclint:ignore` comment.
+type SuppressionSite struct {
+	Pos      token.Pos
+	Analyzer string // the silenced analyzer, or "*"
+	key      ignoreKey
 }
 
 // CollectSuppressions scans files for suppression comments. A trailing
@@ -117,7 +165,7 @@ type Suppressions struct {
 // standalone ignore covers only the line below it — never both, so an
 // ignore cannot silently swallow a second, unrelated finding.
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) (*Suppressions, []Diagnostic) {
-	s := &Suppressions{keys: map[ignoreKey]bool{}}
+	s := &Suppressions{keys: map[ignoreKey]bool{}, used: map[ignoreKey]bool{}}
 	var bad []Diagnostic
 	for _, f := range files {
 		codeLines := map[int]bool{}
@@ -152,7 +200,9 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) (*Suppressions,
 				if !codeLines[line] {
 					line++ // standalone: covers the line below
 				}
-				s.keys[ignoreKey{pos.Filename, line, fields[0]}] = true
+				key := ignoreKey{pos.Filename, line, fields[0]}
+				s.keys[key] = true
+				s.sites = append(s.sites, SuppressionSite{Pos: c.Pos(), Analyzer: fields[0], key: key})
 			}
 		}
 	}
@@ -161,42 +211,46 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) (*Suppressions,
 
 // Suppressed reports whether d is silenced by an ignore comment
 // covering its line (trailing on the line itself, or standalone on the
-// line above).
+// line above), and marks the matching suppression as live.
 func (s *Suppressions) Suppressed(fset *token.FileSet, d Diagnostic) bool {
 	if s == nil {
 		return false
 	}
 	pos := fset.Position(d.Pos)
 	for _, name := range []string{d.Analyzer, "*"} {
-		if s.keys[ignoreKey{pos.Filename, pos.Line, name}] {
+		key := ignoreKey{pos.Filename, pos.Line, name}
+		if s.keys[key] {
+			s.used[key] = true
 			return true
 		}
 	}
 	return false
 }
 
-// RunPackage applies every analyzer to one package and returns the
-// surviving findings (suppressions applied, malformed suppressions
-// included) ordered by position.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	sup, diags := CollectSuppressions(fset, files)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    files,
-			Pkg:      pkg,
-			Info:     info,
-			report: func(d Diagnostic) {
-				if !sup.Suppressed(fset, d) {
-					diags = append(diags, d)
-				}
-			},
-		}
-		if err := a.Run(pass); err != nil {
-			return diags, fmt.Errorf("%s: %w", a.Name, err)
+// Stale returns the suppression sites that silenced nothing during the
+// runs they were consulted in — candidates for deletion (stale-ignore
+// rot). Only meaningful after the full suite has run over the package.
+func (s *Suppressions) Stale() []SuppressionSite {
+	var out []SuppressionSite
+	for _, site := range s.sites {
+		if !s.used[site.key] {
+			out = append(out, site)
 		}
 	}
+	return out
+}
+
+// A PackageResult is the full outcome of running a suite over one
+// package: surviving findings, the findings an ignore silenced, and
+// ignores that silenced nothing (stale).
+type PackageResult struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+	Stale      []SuppressionSite
+}
+
+// sortDiags orders findings by position for stable output.
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -207,7 +261,56 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+}
+
+// RunPackage applies the analyzers (expanded with their Requires) to
+// one package and returns the surviving findings (suppressions
+// applied, malformed suppressions included) ordered by position.
+// facts carries object/package facts across packages; pass nil for a
+// standalone single-package run.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	res, err := RunPackageEx(fset, files, pkg, info, analyzers, facts)
+	if res == nil {
+		return nil, err
+	}
+	return res.Diags, err
+}
+
+// RunPackageEx is RunPackage plus the suppression audit trail.
+func RunPackageEx(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) (*PackageResult, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	sup, diags := CollectSuppressions(fset, files)
+	res := &PackageResult{Diags: diags}
+	results := map[*Analyzer]any{}
+	for _, a := range Expand(analyzers) {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			ResultOf: results,
+			facts:    facts,
+			report: func(d Diagnostic) {
+				if sup.Suppressed(fset, d) {
+					res.Suppressed = append(res.Suppressed, d)
+				} else {
+					res.Diags = append(res.Diags, d)
+				}
+			},
+		}
+		result, err := a.Run(pass)
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = result
+	}
+	res.Stale = sup.Stale()
+	sortDiags(fset, res.Diags)
+	sortDiags(fset, res.Suppressed)
+	return res, nil
 }
 
 // --- shared type/AST helpers used by several passes ---

@@ -51,10 +51,10 @@ func f() {
 		analyzer string
 		want     bool
 	}{
-		{"x()", "poollease", true},     // same-line ignore, matching analyzer
-		{"x()", "hotpathlock", false},  // same-line ignore, different analyzer
-		{"y()", "poollease", false},    // no ignore on or above this line
-		{"z()", "poollease", true},     // wildcard ignore on the line above
+		{"x()", "poollease", true},      // same-line ignore, matching analyzer
+		{"x()", "hotpathlock", false},   // same-line ignore, different analyzer
+		{"y()", "poollease", false},     // no ignore on or above this line
+		{"z()", "poollease", true},      // wildcard ignore on the line above
 		{"z()", "telemetrylabel", true}, // wildcard covers every analyzer
 	}
 	for _, c := range cases {

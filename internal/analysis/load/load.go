@@ -34,10 +34,19 @@ import (
 // A Package is one parsed and type-checked package ready for analysis.
 type Package struct {
 	PkgPath string
-	Fset    *token.FileSet
-	Files   []*ast.File
-	Types   *types.Package
-	Info    *types.Info
+	Dir     string
+	// FilePaths are the absolute paths of the parsed files, in parse
+	// order (inputs to content-hash cache keys).
+	FilePaths []string
+	// Imports are the package's direct imports (canonical paths).
+	Imports []string
+	// ExportFile is this package's own compiled export data, when the
+	// listing produced one.
+	ExportFile string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
 }
 
 // listedPkg is the subset of `go list -json` output the loaders use.
@@ -48,6 +57,7 @@ type listedPkg struct {
 	Export     string
 	Standard   bool
 	GoFiles    []string
+	Imports    []string
 	Module     *struct{ Path, Dir string }
 }
 
@@ -147,42 +157,113 @@ func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.I
 	return &Package{PkgPath: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// Module loads the module packages matching patterns (relative to
-// dir), type-checked against export data. Test files are excluded.
-// Packages with no non-test Go files (external-test-only) are skipped.
-func Module(dir string, patterns ...string) ([]*Package, error) {
+// A Target is one to-be-analyzed package from a module Listing: its
+// metadata is available before (and without) parsing or type-checking,
+// so a caching driver can skip loading entirely on a cache hit.
+type Target struct {
+	PkgPath    string
+	Dir        string
+	FilePaths  []string // absolute non-test Go files
+	Imports    []string // direct imports (canonical paths)
+	ExportFile string   // this package's compiled export data
+}
+
+// A Listing is the module load plan: the matched targets in dependency
+// order (every target's in-module imports precede it) plus the export
+// data locations of the full transitive dependency set.
+type Listing struct {
+	Targets []Target
+	// ExportFiles maps every dependency import path (targets included)
+	// to its compiled export data file.
+	ExportFiles map[string]string
+
+	fset *token.FileSet
+	imp  *exportImporter
+}
+
+// List runs the module listing for patterns (relative to dir): the
+// `go list -deps -export` pass both compiles export data for every
+// dependency and yields dependency order, which the interprocedural
+// driver relies on so imported facts exist before their importers are
+// analyzed. Test files are excluded; packages with no non-test Go
+// files (external-test-only) are skipped.
+func List(dir string, patterns ...string) (*Listing, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	fields := "-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Module"
+	fields := "-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Imports,Module"
 	targets, err := goList(dir, append([]string{fields}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
+	matched := map[string]bool{}
+	for _, t := range targets {
+		matched[t.ImportPath] = true
+	}
+	// `go list -deps` emits dependencies before dependents; keeping
+	// that order for the matched targets gives the driver its
+	// dependency-ordered plan.
 	deps, err := goList(dir, append([]string{"-deps", "-export", fields}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
-	exportFiles := map[string]string{}
+	l := &Listing{ExportFiles: map[string]string{}, fset: token.NewFileSet()}
 	for _, p := range deps {
 		if p.Export != "" {
-			exportFiles[p.ImportPath] = p.Export
+			l.ExportFiles[p.ImportPath] = p.Export
 		}
-	}
-
-	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exportFiles, nil)
-	var out []*Package
-	for _, t := range targets {
-		names := nonTestGoFiles(t.GoFiles)
+		if !matched[p.ImportPath] {
+			continue
+		}
+		names := nonTestGoFiles(p.GoFiles)
 		if len(names) == 0 {
 			continue
 		}
-		files, err := parseFiles(fset, t.Dir, names)
+		t := Target{PkgPath: p.ImportPath, Dir: p.Dir, Imports: p.Imports, ExportFile: p.Export}
+		for _, name := range names {
+			t.FilePaths = append(t.FilePaths, filepath.Join(p.Dir, name))
+		}
+		l.Targets = append(l.Targets, t)
+	}
+	l.imp = newExportImporter(l.fset, l.ExportFiles, nil)
+	return l, nil
+}
+
+// Load parses and type-checks one listed target. Targets share the
+// listing's FileSet and importer, so positions and imported type
+// identities are consistent across the whole run.
+func (l *Listing) Load(t Target) (*Package, error) {
+	var files []*ast.File
+	for _, path := range t.FilePaths {
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
-		pkg, err := CheckFiles(fset, t.ImportPath, files, imp)
+		files = append(files, f)
+	}
+	pkg, err := CheckFiles(l.fset, t.PkgPath, files, l.imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = t.Dir
+	pkg.FilePaths = t.FilePaths
+	pkg.Imports = t.Imports
+	pkg.ExportFile = t.ExportFile
+	return pkg, nil
+}
+
+// Module loads the module packages matching patterns (relative to
+// dir), type-checked against export data, in dependency order. Test
+// files are excluded. Packages with no non-test Go files
+// (external-test-only) are skipped.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	listing, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range listing.Targets {
+		pkg, err := listing.Load(t)
 		if err != nil {
 			return nil, err
 		}
@@ -197,24 +278,20 @@ func Module(dir string, patterns ...string) ([]*Package, error) {
 type dirLoader struct {
 	srcRoot string
 	fset    *token.FileSet
-	loaded  map[string]*types.Package // import path -> source-checked package
+	loaded  map[string]*Package // import path -> source-checked package
 	imp     *exportImporter
 }
 
-// Dir loads the single package in pkgDir, resolving imports that
-// resolve to directories under srcRoot from source, and the rest
-// (stdlib) from export data. It returns the target package; stub
-// dependencies are type-checked but not returned.
-func Dir(srcRoot, pkgDir string) (*Package, error) {
+// newDirLoader prepares a loader for srcRoot: one pass over the whole
+// tree to collect every import that is not a sibling source package,
+// then one `go list` to map those (and their dependencies) to export
+// data.
+func newDirLoader(srcRoot string) (*dirLoader, error) {
 	l := &dirLoader{
 		srcRoot: srcRoot,
 		fset:    token.NewFileSet(),
-		loaded:  map[string]*types.Package{},
+		loaded:  map[string]*Package{},
 	}
-
-	// One pass over the whole tree to collect every import that is not
-	// a sibling source package, then one `go list` to map those (and
-	// their dependencies) to export data.
 	external, err := l.externalImports()
 	if err != nil {
 		return nil, err
@@ -233,12 +310,49 @@ func Dir(srcRoot, pkgDir string) (*Package, error) {
 		}
 	}
 	l.imp = newExportImporter(l.fset, exportFiles, nil)
+	return l, nil
+}
 
-	rel, err := filepath.Rel(srcRoot, pkgDir)
+// Dir loads the single package in pkgDir, resolving imports that
+// resolve to directories under srcRoot from source, and the rest
+// (stdlib) from export data. It returns the target package; stub
+// dependencies are type-checked but not returned.
+func Dir(srcRoot, pkgDir string) (*Package, error) {
+	pkgs, err := Dirs(srcRoot, pkgDir)
 	if err != nil {
 		return nil, err
 	}
-	return l.load(filepath.ToSlash(rel))
+	return pkgs[0], nil
+}
+
+// Dirs loads the packages in pkgDirs (absolute or srcRoot-relative
+// directories) from one shared loader — one FileSet, each package
+// type-checked once even when listed and imported — and returns them
+// in the given order. Callers analyzing with facts list dependency
+// packages before their importers, mirroring the module driver's
+// dependency order.
+func Dirs(srcRoot string, pkgDirs ...string) ([]*Package, error) {
+	l, err := newDirLoader(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range pkgDirs {
+		path := dir
+		if filepath.IsAbs(dir) {
+			rel, err := filepath.Rel(srcRoot, dir)
+			if err != nil {
+				return nil, err
+			}
+			path = filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
 }
 
 // externalImports walks srcRoot and returns the sorted set of imports
@@ -274,8 +388,12 @@ func (l *dirLoader) externalImports() ([]string, error) {
 }
 
 // load type-checks the package at import path (relative to srcRoot),
-// recursively loading sibling imports from source first.
+// recursively loading sibling imports from source first. Results are
+// memoized so a package listed and imported is checked once.
 func (l *dirLoader) load(path string) (*Package, error) {
+	if pkg := l.loaded[path]; pkg != nil {
+		return pkg, nil
+	}
 	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -295,22 +413,37 @@ func (l *dirLoader) load(path string) (*Package, error) {
 
 	// Source-load sibling imports depth-first so the importer can hand
 	// them out.
+	var imports []string
 	for _, f := range files {
 		for _, spec := range f.Imports {
 			p := strings.Trim(spec.Path.Value, `"`)
+			imports = append(imports, p)
 			if l.loaded[p] != nil {
 				continue
 			}
 			if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(p))); err == nil && st.IsDir() {
-				dep, err := l.load(p)
-				if err != nil {
+				if _, err := l.load(p); err != nil {
 					return nil, err
 				}
-				l.loaded[p] = dep.Types
 			}
 		}
 	}
 
-	imp := &exportImporter{gc: l.imp.gc, extra: l.loaded}
-	return CheckFiles(l.fset, path, files, imp)
+	extra := map[string]*types.Package{}
+	for p, dep := range l.loaded {
+		extra[p] = dep.Types
+	}
+	imp := &exportImporter{gc: l.imp.gc, extra: extra}
+	pkg, err := CheckFiles(l.fset, path, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	for _, name := range names {
+		pkg.FilePaths = append(pkg.FilePaths, filepath.Join(dir, name))
+	}
+	sort.Strings(imports)
+	pkg.Imports = imports
+	l.loaded[path] = pkg
+	return pkg, nil
 }

@@ -29,7 +29,7 @@ var Analyzer = &ftc.Analyzer{
 	Run:  run,
 }
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
 	// Pass 1: collect fields whose address is taken as the pointer
 	// argument of a sync/atomic call, remembering one call site each
 	// for the report.
@@ -68,7 +68,7 @@ func run(pass *ftc.Pass) error {
 		})
 	}
 	if len(atomicFields) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// Pass 2: any other selector resolving to one of those fields is a
@@ -93,7 +93,7 @@ func run(pass *ftc.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // fieldVar resolves sel to a struct field object, or nil.

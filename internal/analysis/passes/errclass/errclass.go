@@ -40,13 +40,13 @@ var Analyzer = &ftc.Analyzer{
 const enumTypeName = "errClass"
 const timeoutConstName = "classTimeout"
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
 	if !ftc.PkgNamed(pass.Pkg, "hvac") {
-		return nil
+		return nil, nil
 	}
 	enum := findEnum(pass)
 	if enum == nil {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -63,7 +63,7 @@ func run(pass *ftc.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // enumInfo is the declared constant set of the errClass type.

@@ -11,16 +11,19 @@
 //     either a race or a hidden lock dependency;
 //   - call into package fmt — the fmt fast paths allocate and take
 //     interface round-trips the per-I/O path must not pay;
-//   - call a same-package function that does any of the above. The
-//     call graph is walked with a package-local summary: a callee that
-//     is itself marked `//ftc:hotpath` is trusted (it is checked at
-//     its own definition); an unmarked callee is analyzed transitively
-//     and a violation inside it is reported at the hot-path call site.
+//   - call any function that does any of the above, in this package or
+//     another. Same-package callees are summarized transitively; a
+//     cross-package callee's verdict arrives as an UnsafeFact exported
+//     when its home package was analyzed (the driver runs in
+//     dependency order, so the fact is always there before the caller
+//     is). A callee that is itself marked `//ftc:hotpath` — which its
+//     home package records as a HotFact — is trusted: it was checked
+//     at its own definition.
 //
-// Cross-package calls (other than the denylist above) are not
-// analyzed — package-local summaries only, per the design: hot-path
-// leaf dependencies (sync/atomic, container/list lookups, telemetry
-// handles) are vetted by their own package's markings.
+// Interface-dispatched calls are checked against the call graph's CHA
+// candidates: the call is reported only when every known in-repo
+// implementation is hot-unsafe (one safe implementation means the
+// dispatch may be fine, and guessing would be noise).
 package hotpathlock
 
 import (
@@ -30,13 +33,33 @@ import (
 	"go/types"
 
 	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/passes/callgraph"
 )
+
+// An UnsafeFact marks a function whose body (transitively, within its
+// home package) performs a hot-path-forbidden operation.
+type UnsafeFact struct {
+	What  string // first violation, e.g. "acquires (*sync.Mutex).Lock"
+	Where string // its position, "file:line"
+}
+
+// AFact marks UnsafeFact as a fact.
+func (*UnsafeFact) AFact() {}
+
+// A HotFact marks a function annotated //ftc:hotpath: verified
+// lock-free at its own definition, so callers may trust it.
+type HotFact struct{}
+
+// AFact marks HotFact as a fact.
+func (*HotFact) AFact() {}
 
 // Analyzer is the hotpathlock pass.
 var Analyzer = &ftc.Analyzer{
-	Name: "hotpathlock",
-	Doc:  "functions marked //ftc:hotpath must not lock, write shared maps, or call fmt (transitively within the package)",
-	Run:  run,
+	Name:      "hotpathlock",
+	Doc:       "functions marked //ftc:hotpath must not lock, write shared maps, or call fmt (transitively, across packages via facts)",
+	Requires:  []*ftc.Analyzer{callgraph.Analyzer},
+	FactTypes: []ftc.Fact{(*UnsafeFact)(nil), (*HotFact)(nil)},
+	Run:       run,
 }
 
 // blockingSyncMethods are the sync primitives that can block or spin
@@ -56,18 +79,49 @@ type violation struct {
 }
 
 type checker struct {
-	pass *ftc.Pass
+	pass  *ftc.Pass
+	graph *callgraph.Graph
 	// summaries memoizes per-function violation lists; a nil entry
 	// marks a function currently on the DFS stack (cycle guard).
 	summaries map[types.Object][]violation
 	onStack   map[types.Object]bool
 }
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
 	c := &checker{
 		pass:      pass,
+		graph:     pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph),
 		summaries: map[types.Object][]violation{},
 		onStack:   map[types.Object]bool{},
+	}
+	// Export facts for every package-level function first — callers in
+	// downstream packages need the verdicts whether or not anything in
+	// this package is marked hot — then report inside marked bodies.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if _, exportable := ftc.ObjectKey(obj); !exportable {
+				continue
+			}
+			if ftc.HasHotPath(fd) {
+				pass.ExportObjectFact(obj, &HotFact{})
+				continue // violations are reported, not exported: the definition is the fix site
+			}
+			if sum := c.analyze(fd); len(sum) > 0 {
+				first := sum[0]
+				pass.ExportObjectFact(obj, &UnsafeFact{
+					What:  first.what,
+					Where: pass.Fset.Position(first.pos).String(),
+				})
+			}
+		}
 	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -80,11 +134,11 @@ func run(pass *ftc.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // analyze returns fd's direct violations plus one violation per call
-// site whose same-package callee has violations of its own.
+// site whose callee has violations of its own.
 func (c *checker) analyze(fd *ast.FuncDecl) []violation {
 	obj := c.pass.Info.Defs[fd.Name]
 	if obj != nil {
@@ -140,10 +194,38 @@ func (c *checker) checkCall(call *ast.CallExpr, body *ast.BlockStmt) (violation,
 		}
 	}
 
-	callee := ftc.CalleeObject(info, call)
-	fn, ok := callee.(*types.Func)
-	if !ok {
+	res := c.graph.ResolveCall(call)
+
+	// Interface dispatch: hot-unsafe only when every known in-repo
+	// implementation is.
+	if res.Iface != nil && len(res.Candidates) > 0 {
+		var first *UnsafeFact
+		for _, cand := range res.Candidates {
+			var hot HotFact
+			if c.pass.ImportFactByKey(cand.PkgPath, cand.ObjKey, &hot) {
+				return violation{}, false
+			}
+			var unsafeFact UnsafeFact
+			if !c.pass.ImportFactByKey(cand.PkgPath, cand.ObjKey, &unsafeFact) {
+				return violation{}, false
+			}
+			if first == nil {
+				f := unsafeFact
+				first = &f
+			}
+		}
+		if first != nil {
+			return violation{call.Pos(), fmt.Sprintf("dispatches %s: every in-repo implementation %s (e.g. at %s)",
+				callgraph.ShortRef(res.Iface), first.What, first.Where)}, true
+		}
 		return violation{}, false
+	}
+
+	fn, ok := res.Static.(*types.Func)
+	if !ok {
+		if fn, ok = ftc.CalleeObject(info, call).(*types.Func); !ok {
+			return violation{}, false
+		}
 	}
 
 	// Denylisted leaf operations.
@@ -165,10 +247,24 @@ func (c *checker) checkCall(call *ast.CallExpr, body *ast.BlockStmt) (violation,
 		}
 	}
 
-	// Same-package callee: trust marked functions, summarize unmarked.
+	// Cross-package callee: consult its home package's facts. A HotFact
+	// is a trusted verification; an UnsafeFact is a violation carried to
+	// this call site; no fact (stdlib beyond the denylist, safe
+	// functions) passes.
 	if fn.Pkg() != c.pass.Pkg {
+		var hot HotFact
+		if c.pass.ImportObjectFact(fn, &hot) {
+			return violation{}, false
+		}
+		var unsafeFact UnsafeFact
+		if c.pass.ImportObjectFact(fn, &unsafeFact) {
+			return violation{call.Pos(), fmt.Sprintf("calls %s, which %s (at %s)",
+				callgraph.ShortRef(fn), unsafeFact.What, unsafeFact.Where)}, true
+		}
 		return violation{}, false
 	}
+
+	// Same-package callee: trust marked functions, summarize unmarked.
 	decl := ftc.FuncFor(info, c.pass.Files, fn)
 	if decl == nil || decl.Body == nil {
 		return violation{}, false

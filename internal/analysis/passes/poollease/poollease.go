@@ -30,10 +30,19 @@
 //     the lease is reported: the parent cannot know when the payload
 //     stops being used.
 //
-// The walk is intra-procedural and syntactic about aliases (a copy of
-// the frame struct is not tracked); it is tuned to catch the real
-// regression class — an early return added to a handler between the
-// acquisition and the release.
+// The walk is path-sensitive within the acquiring function and
+// *interprocedural about handoffs*: passing the lease to another
+// function only discharges the obligation when the callee actually
+// consumes it. Each package exports a LeaseSinkFact for every function
+// that releases (or hands further along) a lease-typed parameter, and
+// the walker resolves call-site handoffs through the call graph: a
+// statically known callee that does NOT sink the lease leaves the
+// obligation with the caller, so a missing release downstream of a
+// look-don't-own helper is still reported. Unresolvable callees
+// (function values, stdlib) keep the old trusting behavior. Aliases
+// remain syntactic (a copy of the frame struct is not tracked); the
+// check is tuned to catch the real regression class — an early return
+// added to a handler between the acquisition and the release.
 package poollease
 
 import (
@@ -42,26 +51,226 @@ import (
 	"go/types"
 
 	"repro/internal/analysis/ftc"
+	"repro/internal/analysis/passes/callgraph"
 )
+
+// A LeaseSinkFact records which of a function's parameters it consumes:
+// a lease passed in one of these positions is released (directly,
+// deferred, via a stored Release method value, or by handing it to
+// another sink).
+type LeaseSinkFact struct {
+	Params []int
+}
+
+// AFact marks LeaseSinkFact as a fact.
+func (*LeaseSinkFact) AFact() {}
 
 // Analyzer is the poollease pass.
 var Analyzer = &ftc.Analyzer{
-	Name: "poollease",
-	Doc:  "every pooled lease (wire.ReadFramePooled, memtier.Tier.Get) must reach Release on all paths, and the payload must not be used after release",
-	Run:  run,
+	Name:      "poollease",
+	Doc:       "every pooled lease (wire.ReadFramePooled, memtier.Tier.Get) must reach Release on all paths, and the payload must not be used after release",
+	Requires:  []*ftc.Analyzer{callgraph.Analyzer},
+	FactTypes: []ftc.Fact{(*LeaseSinkFact)(nil)},
+	Run:       run,
 }
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
+	s := &sinks{
+		pass:      pass,
+		graph:     pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph),
+		summaries: map[types.Object][]int{},
+		onStack:   map[types.Object]bool{},
+	}
+	// Sink summaries first (and their facts), so both this package's
+	// walkers and downstream packages can resolve handoffs.
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			params := s.summarize(obj, fd)
+			if _, exportable := ftc.ObjectKey(obj); exportable && len(params) > 0 {
+				pass.ExportObjectFact(obj, &LeaseSinkFact{Params: params})
+			}
 		}
 	}
-	return nil
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, s, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isLeaseType matches the two pooled-lease types: *wire.Buf and
+// *memtier.Lease (matched by package name so testdata stubs qualify).
+func isLeaseType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	switch obj.Name() {
+	case "Buf":
+		return ftc.PkgNamed(obj.Pkg(), "wire")
+	case "Lease":
+		return ftc.PkgNamed(obj.Pkg(), "memtier")
+	}
+	return false
+}
+
+// sinks computes which lease-typed parameters a function consumes.
+type sinks struct {
+	pass      *ftc.Pass
+	graph     *callgraph.Graph
+	summaries map[types.Object][]int
+	onStack   map[types.Object]bool
+}
+
+// summarize returns the (sorted) indices of fd's lease-typed parameters
+// that its body consumes.
+func (s *sinks) summarize(obj types.Object, fd *ast.FuncDecl) []int {
+	if sum, ok := s.summaries[obj]; ok {
+		return sum
+	}
+	if s.onStack[obj] {
+		return nil
+	}
+	s.onStack[obj] = true
+	defer func() { s.onStack[obj] = false }()
+
+	info := s.pass.Info
+	// Collect lease-typed parameter objects with their indices.
+	var paramObjs []types.Object
+	var paramIdx []int
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				if i < len(field.Names) {
+					if po, ok := info.Defs[field.Names[i]].(*types.Var); ok && isLeaseType(po.Type()) {
+						paramObjs = append(paramObjs, po)
+						paramIdx = append(paramIdx, idx)
+					}
+				}
+				idx++
+			}
+		}
+	}
+	var out []int
+	for i, po := range paramObjs {
+		if s.consumes(fd.Body, po) {
+			out = append(out, paramIdx[i])
+		}
+	}
+	s.summaries[obj] = out
+	return out
+}
+
+// consumes reports whether body releases obj: obj.Release() (called or
+// deferred), obj.Release taken as a method value (stored somewhere that
+// will run it), or obj passed onward in a sink position of a resolvable
+// callee.
+func (s *sinks) consumes(body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Release" {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && s.pass.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			for i, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok || s.pass.Info.Uses[id] != obj {
+					continue
+				}
+				if s.callSinksArg(n, i) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callSinksArg decides whether argument position i of call reaches a
+// consuming callee: same-package summaries, cross-package
+// LeaseSinkFacts, or — for unresolvable callees — trusted by default.
+func (s *sinks) callSinksArg(call *ast.CallExpr, i int) bool {
+	res := s.graph.ResolveCall(call)
+	fn := res.Static
+	if fn == nil {
+		if res.Iface != nil {
+			// Interface dispatch: sink if any known candidate sinks.
+			for _, cand := range res.Candidates {
+				var fact LeaseSinkFact
+				if s.pass.ImportFactByKey(cand.PkgPath, cand.ObjKey, &fact) && containsInt(fact.Params, i) {
+					return true
+				}
+			}
+			return false
+		}
+		return true // function value: unknowable, trust the handoff
+	}
+	if fn.Pkg() == s.pass.Pkg {
+		if fd := ftc.FuncFor(s.pass.Info, s.pass.Files, fn); fd != nil && fd.Body == nil {
+			return true // bodyless (assembly/external): trust
+		} else if fd != nil {
+			return containsInt(s.summarize(fn, fd), i)
+		}
+		return true
+	}
+	var fact LeaseSinkFact
+	if s.pass.ImportObjectFact(fn, &fact) {
+		return containsInt(fact.Params, i)
+	}
+	// No fact: either a stdlib/unanalyzed callee (trust) or an analyzed
+	// repo function that provably does not sink (reject). Repo packages
+	// are exactly the ones with a module-prefixed path in the fact
+	// store's world; the practical discriminator is whether the callee
+	// has lease-typed parameters at all — if it does and no fact was
+	// exported, its home package was analyzed and found it non-consuming.
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		for j := 0; j < sig.Params().Len(); j++ {
+			if isLeaseType(sig.Params().At(j).Type()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // isReadFramePooled matches calls to wire.ReadFramePooled.
@@ -104,7 +313,7 @@ type acquisition struct {
 	ok    types.Object // may be nil (ok-guarded acquisitions only)
 }
 
-func checkFunc(pass *ftc.Pass, fd *ast.FuncDecl) {
+func checkFunc(pass *ftc.Pass, s *sinks, fd *ast.FuncDecl) {
 	var acqs []acquisition
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -149,6 +358,7 @@ func checkFunc(pass *ftc.Pass, fd *ast.FuncDecl) {
 		}
 		w := &walker{
 			pass:     pass,
+			sinks:    s,
 			fn:       fd,
 			acq:      a,
 			reported: map[token.Pos]bool{},
@@ -183,6 +393,7 @@ type state struct {
 
 type walker struct {
 	pass     *ftc.Pass
+	sinks    *sinks
 	fn       *ast.FuncDecl
 	acq      acquisition
 	reported map[token.Pos]bool
@@ -362,11 +573,17 @@ func (w *walker) scanExprEvents(n ast.Node, st state) state {
 				st.relPos = c.Pos()
 				return false
 			}
-			// Lease passed to another function: ownership handoff.
-			for _, arg := range c.Args {
+			// Lease passed to another function: a handoff only if the
+			// callee consumes it — resolved through the call graph and,
+			// cross-package, LeaseSinkFacts. A known non-consuming
+			// callee (a look-don't-own helper) leaves the obligation
+			// here.
+			for i, arg := range c.Args {
 				if usesObj(w.pass.Info, arg, w.acq.lease) {
-					st.released = true
-					st.handoff = true
+					if w.sinks.callSinksArg(c, i) {
+						st.released = true
+						st.handoff = true
+					}
 					return false
 				}
 			}
@@ -448,8 +665,8 @@ func (w *walker) walkStmt(s ast.Stmt, st state) []state {
 				st.relPos = s.Call.Pos()
 				return []state{st}
 			}
-			for _, arg := range s.Call.Args {
-				if usesObj(w.pass.Info, arg, w.acq.lease) {
+			for i, arg := range s.Call.Args {
+				if usesObj(w.pass.Info, arg, w.acq.lease) && w.sinks.callSinksArg(s.Call, i) {
 					st.released = true
 					st.handoff = true
 					return []state{st}

@@ -44,7 +44,7 @@ var Analyzer = &ftc.Analyzer{
 	Run:  run,
 }
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -54,7 +54,7 @@ func run(pass *ftc.Pass) error {
 			checkFunc(pass, fd)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // spanResultIndex reports whether call acquires a span, and at which

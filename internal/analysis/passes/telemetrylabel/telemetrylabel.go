@@ -48,7 +48,7 @@ var labelMethods = map[string]int{
 	"GaugeFunc":   2,
 }
 
-func run(pass *ftc.Pass) error {
+func run(pass *ftc.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -83,7 +83,7 @@ func run(pass *ftc.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 func isConstant(info *types.Info, e ast.Expr) bool {

@@ -1,26 +1,36 @@
 // Package analysis assembles the ftclint analyzer suite: the custom
 // static checks that keep FT-Cache's concurrency and resource
 // invariants — introduced across PRs 1–4 as comments and review lore —
-// machine-enforced. See DESIGN.md §12 for the rule catalogue and
-// cmd/ftclint for the driver (standalone or `go vet -vettool`).
+// machine-enforced. See DESIGN.md §12 for the per-package rule
+// catalogue and §17 for the interprocedural layer (facts, the shared
+// call graph, and the cross-package analyzers); cmd/ftclint is the
+// driver (standalone or `go vet -vettool`).
 package analysis
 
 import (
 	"repro/internal/analysis/ftc"
 	"repro/internal/analysis/passes/atomicfield"
+	"repro/internal/analysis/passes/ctxflow"
 	"repro/internal/analysis/passes/errclass"
+	"repro/internal/analysis/passes/gostop"
 	"repro/internal/analysis/passes/hotpathlock"
+	"repro/internal/analysis/passes/lockorder"
 	"repro/internal/analysis/passes/poollease"
 	"repro/internal/analysis/passes/spanend"
 	"repro/internal/analysis/passes/telemetrylabel"
 )
 
-// All returns the full ftclint suite in stable order.
+// All returns the full ftclint suite in stable order. The shared
+// callgraph pass is not listed: it reports nothing and is pulled in
+// through Requires by every analyzer that consumes it (ftc.Expand).
 func All() []*ftc.Analyzer {
 	return []*ftc.Analyzer{
 		atomicfield.Analyzer,
+		ctxflow.Analyzer,
 		errclass.Analyzer,
+		gostop.Analyzer,
 		hotpathlock.Analyzer,
+		lockorder.Analyzer,
 		poollease.Analyzer,
 		spanend.Analyzer,
 		telemetrylabel.Analyzer,

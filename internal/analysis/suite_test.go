@@ -10,8 +10,11 @@ import (
 	"repro/internal/analysis/ftc"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/passes/atomicfield"
+	"repro/internal/analysis/passes/ctxflow"
 	"repro/internal/analysis/passes/errclass"
+	"repro/internal/analysis/passes/gostop"
 	"repro/internal/analysis/passes/hotpathlock"
+	"repro/internal/analysis/passes/lockorder"
 	"repro/internal/analysis/passes/poollease"
 	"repro/internal/analysis/passes/spanend"
 	"repro/internal/analysis/passes/telemetrylabel"
@@ -52,13 +55,46 @@ func TestTelemetrylabel(t *testing.T) {
 	analysistest.Run(t, srcRoot(t), "telemetrylabel", telemetrylabel.Analyzer)
 }
 
-// TestRepoIsClean is the meta-test: the full suite over the whole
-// module must report nothing. A new finding either gets fixed or gets
-// an explicit //ftclint:ignore with a reason — never left ambient.
-func TestRepoIsClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loads and type-checks the whole module")
-	}
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, srcRoot(t), "lockorder", lockorder.Analyzer)
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, srcRoot(t), "ctxflow", ctxflow.Analyzer)
+}
+
+func TestGostop(t *testing.T) {
+	analysistest.Run(t, srcRoot(t), "gostop", gostop.Analyzer)
+}
+
+// The *Facts tests are the multi-package suites: dependencies are
+// listed before their importers, and each asserts that a verdict
+// computed in src/<x>2/dep crosses into src/<x>2/use as a fact.
+
+func TestLockorderFacts(t *testing.T) {
+	analysistest.RunMulti(t, srcRoot(t), []string{"lockorder2/dep", "lockorder2/use"}, lockorder.Analyzer)
+}
+
+func TestCtxflowFacts(t *testing.T) {
+	analysistest.RunMulti(t, srcRoot(t), []string{"ctxflow2/dep", "ctxflow2/use"}, ctxflow.Analyzer)
+}
+
+func TestGostopFacts(t *testing.T) {
+	analysistest.RunMulti(t, srcRoot(t), []string{"gostop2/dep", "gostop2/use"}, gostop.Analyzer)
+}
+
+func TestPoolleaseFacts(t *testing.T) {
+	analysistest.RunMulti(t, srcRoot(t), []string{"poollease2/dep", "poollease2/use"}, poollease.Analyzer)
+}
+
+func TestHotpathlockFacts(t *testing.T) {
+	analysistest.RunMulti(t, srcRoot(t), []string{"hotpathlock2/dep", "hotpathlock2/use"}, hotpathlock.Analyzer)
+}
+
+// loadRepo loads every module package in dependency order, exactly as
+// the standalone ftclint driver does.
+func loadRepo(t *testing.T) []*load.Package {
+	t.Helper()
 	_, thisFile, _, ok := runtime.Caller(0)
 	if !ok {
 		t.Fatal("runtime.Caller failed")
@@ -71,13 +107,52 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	for _, pkg := range pkgs {
-		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All())
+	return pkgs
+}
+
+// TestRepoIsClean is the meta-test: the full suite over the whole
+// module — dependency order, one shared fact store, so every
+// interprocedural verdict crosses package boundaries exactly as in the
+// ftclint driver — must report nothing. A new finding either gets
+// fixed or gets an explicit //ftclint:ignore with a reason — never
+// left ambient.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	facts := ftc.NewFactStore()
+	for _, pkg := range loadRepo(t) {
+		diags, err := ftc.RunPackage(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All(), facts)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath, err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestSuppressionsAreLive audits every //ftclint:ignore in the repo:
+// after the full suite runs, a suppression that silenced nothing is
+// stale — the code it excused has been fixed or moved — and must be
+// deleted rather than left to swallow a future, unrelated finding.
+func TestSuppressionsAreLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	facts := ftc.NewFactStore()
+	for _, pkg := range loadRepo(t) {
+		res, err := ftc.RunPackageEx(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analysis.All(), facts)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range res.Diags {
+			// Repo cleanliness is TestRepoIsClean's job; this test only
+			// needs the run for its suppression usage trail.
+			_ = d
+		}
+		for _, s := range res.Stale {
+			t.Errorf("%s: stale //ftclint:ignore %s: it suppresses nothing — delete it", pkg.Fset.Position(s.Pos), s.Analyzer)
 		}
 	}
 }

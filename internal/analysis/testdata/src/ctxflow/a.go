@@ -1,0 +1,69 @@
+// Test cases for the ctxflow analyzer: fabricated root contexts
+// (tiered by certainty) and discarded ctx parameters.
+package a
+
+import "context"
+
+// bg at package level is a detached-lifetime singleton: tier three.
+var bg = context.Background() // want `context\.Background\(\) in library code`
+
+// init owns its context; process roots are exempt.
+func init() {
+	_ = context.Background()
+}
+
+func doCtx(ctx context.Context) error { return ctx.Err() }
+
+// wait blocks in a select; lockorder summarizes that, and ctxflow's
+// second tier reads the summary back as a fact.
+func wait(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// threads is the correct shape: the incoming ctx reaches the callee.
+func threads(ctx context.Context, ch chan int) int {
+	return wait(ctx, ch)
+}
+
+// replaces has a live incoming ctx and fabricates a root anyway.
+func replaces(ctx context.Context, ch chan int) {
+	_ = doCtx(ctx)
+	wait(context.Background(), ch) // want `context\.Background\(\) discards the incoming ctx; pass ctx instead`
+}
+
+// roots has no incoming ctx and feeds the fresh root straight into a
+// callee whose lockorder fact says it blocks: tier two.
+func roots(ch chan int) int {
+	return wait(context.Background(), ch) // want `context\.Background\(\) roots an unbounded blocking call`
+}
+
+// fabricates feeds a non-blocking callee: only the weak tier fires.
+func fabricates() error {
+	return doCtx(context.Background()) // want `context\.Background\(\) in library code`
+}
+
+// discards blanks the ctx it was handed while calling ctx-aware code.
+func discards(ctx context.Context, ch chan int) {
+	_ = ctx                  // want `incoming context "ctx" is discarded`
+	wait(context.TODO(), ch) // want `context\.TODO\(\) discards the incoming ctx`
+}
+
+// ignores never mentions ctx at all but has somewhere to thread it.
+func ignores(ctx context.Context, ch chan int) int { // want `incoming context "ctx" is never used`
+	return wait(nil, ch)
+}
+
+// plainHelper has no ctx parameter and calls nothing ctx-aware: the
+// unused-parameter rule must stay quiet about non-ctx functions.
+func plainHelper(n int) int { return n + 1 }
+
+// suppressed is the documented detached-root shape.
+func suppressed() context.Context {
+	//ftclint:ignore ctxflow lifecycle root owned by the Start/Stop pair in this fixture
+	return context.Background()
+}

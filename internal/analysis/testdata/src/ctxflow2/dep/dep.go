@@ -1,0 +1,15 @@
+// Package dep exports a blocking, context-aware function; lockorder's
+// LockFact for it is what ctxflow's second tier consumes downstream.
+package dep
+
+import "context"
+
+// Wait blocks until the channel delivers or ctx is done.
+func Wait(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}

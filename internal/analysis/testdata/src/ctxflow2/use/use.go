@@ -1,0 +1,20 @@
+// Package use fabricates a root context and feeds it to an imported
+// blocking callee: the blocking verdict arrived as a cross-package
+// lockorder fact, upgrading the finding to ctxflow's second tier.
+package use
+
+import (
+	"context"
+
+	"ctxflow2/dep"
+)
+
+// detached roots an unbounded blocking call in another package.
+func detached(ch chan int) int {
+	return dep.Wait(context.Background(), ch) // want `context\.Background\(\) roots an unbounded blocking call`
+}
+
+// threaded passes its own ctx through: clean.
+func threaded(ctx context.Context, ch chan int) int {
+	return dep.Wait(ctx, ch)
+}

@@ -1,0 +1,62 @@
+// Test cases for the gostop analyzer: goroutine stop paths.
+package a
+
+// spin loops forever with no exit anywhere inside the loop.
+func spin() {
+	for {
+	}
+}
+
+// indirect is unstoppable by propagation: it calls spin.
+func indirect() {
+	spin()
+}
+
+// drain ranges over a channel: closing the channel stops it.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// until loops forever but returns on a condition.
+func until(ch chan int) {
+	for {
+		if <-ch == 0 {
+			return
+		}
+	}
+}
+
+// selector parks in a select whose case returns: an exit like any
+// other.
+func selector(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-ch:
+		case <-done:
+			return
+		}
+	}
+}
+
+func spawns(ch chan int, done chan struct{}) {
+	go spin()     // want `goroutine started here has no stop path: for-loop at .* never breaks or returns`
+	go indirect() // want `goroutine started here has no stop path: calls gostop\.spin, which has no stop path`
+	go drain(ch)
+	go until(ch)
+	go selector(ch, done)
+	go func() { // want `goroutine started here has no stop path: for-loop at .* never breaks or returns`
+		for {
+		}
+	}()
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// suppressedSpawn is the documented process-lifetime daemon shape.
+func suppressedSpawn() {
+	//ftclint:ignore gostop fixture daemon: runs for the life of the process by design
+	go spin()
+}

@@ -1,0 +1,15 @@
+// Package dep exports an unstoppable worker; its GoStopFact travels to
+// importers so their `go` statements can be judged.
+package dep
+
+// Spin loops forever with no exit.
+func Spin() {
+	for {
+	}
+}
+
+// Serve ranges over the channel: closing it stops the worker.
+func Serve(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,10 @@
+// Package use spawns goroutines running imported functions: the
+// unstoppability verdict crosses the package boundary as a GoStopFact.
+package use
+
+import "gostop2/dep"
+
+func spawns(ch chan int) {
+	go dep.Spin() // want `goroutine started here has no stop path: for-loop at .* never breaks or returns`
+	go dep.Serve(ch)
+}

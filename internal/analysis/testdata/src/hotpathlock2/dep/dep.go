@@ -1,0 +1,23 @@
+// Package dep declares one lock-acquiring function and one verified
+// hot function; hotpathlock exports an UnsafeFact for the former and a
+// HotFact for the latter, and importers judge calls by those facts.
+package dep
+
+import "sync"
+
+type Reg struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Slow acquires the registry lock.
+func (r *Reg) Slow() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Fast is verified at its own definition; callers trust the HotFact.
+//
+//ftc:hotpath
+func (r *Reg) Fast() int { return r.n }

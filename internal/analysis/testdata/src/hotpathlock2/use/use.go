@@ -1,0 +1,12 @@
+// Package use marks a hot path that calls into dep: the violation in
+// dep.Slow arrives as an imported UnsafeFact, and dep.Fast's HotFact
+// vouches for it without re-analysis.
+package use
+
+import "hotpathlock2/dep"
+
+//ftc:hotpath
+func Lookup(r *dep.Reg) int {
+	r.Slow() // want `hot-path function Lookup calls dep\.\(\*Reg\)\.Slow, which acquires`
+	return r.Fast()
+}

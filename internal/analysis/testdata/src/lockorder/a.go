@@ -1,0 +1,107 @@
+// Test cases for the lockorder analyzer: blocking-while-holding and
+// same-package lock-order cycles.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+type T struct {
+	mu sync.Mutex
+}
+
+// sendLocked blocks on a channel send with the mutex held.
+func (s *S) sendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `sends on a channel while holding lockorder\.S\.mu`
+}
+
+// recvLocked blocks on a receive with the mutex held.
+func (s *S) recvLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `receives from a channel while holding lockorder\.S\.mu`
+}
+
+// sleepLocked reaches a builtin-blocking call under the lock.
+func (s *S) sleepLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `which blocks .* while holding lockorder\.S\.mu`
+	s.mu.Unlock()
+}
+
+// waitLocked blocks on a WaitGroup with the mutex held.
+func (s *S) waitLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `which blocks .* while holding lockorder\.S\.mu`
+}
+
+// selectLocked parks in a no-default select under the lock.
+func (s *S) selectLocked(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocks in select while holding lockorder\.S\.mu`
+	case s.ch <- 1:
+	case <-done:
+	}
+}
+
+// tryNotify is the non-blocking shape: a select with a default never
+// parks, so holding the lock across it is fine.
+func (s *S) tryNotify() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// sendUnlocked releases before the send: no finding.
+func (s *S) sendUnlocked(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// viaHelper blocks through a same-package callee: the helper's summary
+// carries the blocking verdict to the locked caller.
+func helperRecv(s *S) int { return <-s.ch }
+
+func (s *S) lockedHelper() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return helperRecv(s) // want `calls lockorder\.helperRecv, which blocks .* while holding lockorder\.S\.mu`
+}
+
+// abFirst and baSecond take the two locks in opposite orders; the edge
+// recorded here first closes the cycle and carries the report.
+func abFirst(s *S, t *T) {
+	s.mu.Lock()
+	t.mu.Lock() // want `lock-order deadlock risk: cycle`
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func baSecond(s *S, t *T) {
+	t.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// suppressed documents a send whose receiver provably never takes mu.
+func (s *S) suppressed(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ftclint:ignore lockorder the drain side never takes mu, so the bounded send always completes
+	s.ch <- v
+}

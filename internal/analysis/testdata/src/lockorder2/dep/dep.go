@@ -1,0 +1,23 @@
+// Package dep is the upstream half of the lockorder fact-propagation
+// fixture: it owns both lock classes, records the A→B edge, and
+// exports a blocking function. Its EdgesFact and LockFacts flow to the
+// importing package.
+package dep
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }
+
+// LockPair records the edge A.Mu → B.Mu inside dep. No cycle exists
+// yet, so dep itself is clean.
+func LockPair(a *A, b *B) {
+	a.Mu.Lock()
+	b.Mu.Lock()
+	b.Mu.Unlock()
+	a.Mu.Unlock()
+}
+
+// Wait blocks on a receive; its LockFact carries that verdict to
+// importers.
+func Wait(ch chan int) int { return <-ch }

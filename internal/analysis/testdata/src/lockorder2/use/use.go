@@ -1,0 +1,31 @@
+// Package use imports dep and closes the lock-order cycle dep began:
+// its own B→A edge meets dep's imported A→B edge. It also calls dep's
+// blocking function under its own lock, exercising the imported
+// LockFact.
+package use
+
+import (
+	"sync"
+
+	"lockorder2/dep"
+)
+
+type S struct{ mu sync.Mutex }
+
+// reversed takes dep's locks in the opposite order from dep.LockPair;
+// the cycle is closed by this package's own edge, so it is reported
+// here.
+func reversed(a *dep.A, b *dep.B) {
+	b.Mu.Lock()
+	a.Mu.Lock() // want `lock-order deadlock risk: cycle`
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}
+
+// holdAndWait blocks through an imported callee whose LockFact says it
+// receives from a channel.
+func (s *S) holdAndWait(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return dep.Wait(ch) // want `calls dep\.Wait, which blocks \(receives from a channel\) while holding`
+}

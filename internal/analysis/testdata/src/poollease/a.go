@@ -10,7 +10,13 @@ import (
 
 func use(b []byte) {}
 
-func hold(l *wire.Buf) {}
+// hold consumes the lease (the call-graph summary sees the Release),
+// so handing a lease to it discharges the caller's obligation.
+func hold(l *wire.Buf) { l.Release() }
+
+// borrow inspects the lease but never releases it: passing a lease here
+// is not a handoff, and the caller keeps the obligation.
+func borrow(l *wire.Buf) bool { return l != nil }
 
 // okDefer is the canonical handler shape: err guard, then defer.
 func okDefer(r io.Reader) error {
@@ -52,6 +58,17 @@ func okCallHandoff(r io.Reader) {
 		return
 	}
 	hold(lease)
+}
+
+// leakFalseHandoff passes the lease to a callee whose summary shows it
+// never releases: the obligation stays here, unmet.
+func leakFalseHandoff(r io.Reader) error {
+	_, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return err
+	}
+	borrow(lease)
+	return nil // want `lease acquired at .* is not released on this path`
 }
 
 // leakEarlyReturn is the regression class the pass exists for: an

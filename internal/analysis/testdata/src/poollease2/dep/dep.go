@@ -1,0 +1,13 @@
+// Package dep declares lease-consuming and lease-borrowing helpers;
+// poollease exports a LeaseSinkFact only for the consumer, and the
+// importing package's handoff analysis keys on that difference.
+package dep
+
+import "wire"
+
+// Sink consumes the lease: a caller that hands its lease here has
+// discharged the release obligation.
+func Sink(b *wire.Buf) { b.Release() }
+
+// Borrow inspects the lease but never releases it.
+func Borrow(b *wire.Buf) bool { return b != nil }

@@ -1,0 +1,31 @@
+// Package use acquires pooled leases and hands them to imported
+// callees: whether the handoff discharges the obligation depends on
+// the callee's LeaseSinkFact.
+package use
+
+import (
+	"io"
+
+	"poollease2/dep"
+	"wire"
+)
+
+// okHandoff passes the lease to a cross-package sink: discharged.
+func okHandoff(r io.Reader) {
+	_, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return
+	}
+	dep.Sink(lease)
+}
+
+// leakBorrow hands the lease to a callee that provably never releases
+// it: the obligation stays here, unmet.
+func leakBorrow(r io.Reader) error {
+	_, lease, err := wire.ReadFramePooled(r, 1<<20)
+	if err != nil {
+		return err
+	}
+	dep.Borrow(lease)
+	return nil // want `lease acquired at .* is not released on this path`
+}

@@ -21,6 +21,6 @@ type LeasedResp struct {
 	Release func()
 }
 
-func (p RetryPolicy) Retries() int                  { return p.MaxRetries }
-func (p RetryPolicy) Backoff(attempt int) time.Duration { return time.Duration(attempt) }
+func (p RetryPolicy) Retries() int                                 { return p.MaxRetries }
+func (p RetryPolicy) Backoff(attempt int) time.Duration            { return time.Duration(attempt) }
 func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error { return nil }

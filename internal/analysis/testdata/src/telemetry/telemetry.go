@@ -9,8 +9,8 @@ type Counter struct{}
 type Gauge struct{}
 type Histogram struct{}
 
-func (r *Registry) Counter(name string, labelPairs ...string) *Counter     { return &Counter{} }
-func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge         { return &Gauge{} }
-func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram { return &Histogram{} }
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter             { return &Counter{} }
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge                 { return &Gauge{} }
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram         { return &Histogram{} }
 func (r *Registry) CounterFunc(name string, fn func() int64, labelPairs ...string) {}
 func (r *Registry) GaugeFunc(name string, fn func() int64, labelPairs ...string)   {}

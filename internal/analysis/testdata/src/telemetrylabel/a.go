@@ -23,9 +23,9 @@ func register(reg *telemetry.Registry, node NodeID, key string, err error) {
 	reg.Histogram("ftc_read_seconds", "shard", shard)
 
 	// Unbounded values.
-	reg.Counter("ftc_reads_total", "key", key+"!")             // want `string concatenation builds per-request values`
-	reg.Counter("ftc_errors_total", "err", err.Error())        // want `unbounded label value \(result of \(error\)\.Error\)`
-	reg.Gauge("ftc_depth", "req", fmt.Sprintf("%s", key))      // want `unbounded label value \(result of fmt\.Sprintf\)`
+	reg.Counter("ftc_reads_total", "key", key+"!")                // want `string concatenation builds per-request values`
+	reg.Counter("ftc_errors_total", "err", err.Error())           // want `unbounded label value \(result of \(error\)\.Error\)`
+	reg.Gauge("ftc_depth", "req", fmt.Sprintf("%s", key))         // want `unbounded label value \(result of fmt\.Sprintf\)`
 	reg.Histogram("ftc_read_seconds", "raw", string([]byte(key))) // want `conversion from raw data`
 
 	// Keys must be constant.

@@ -120,6 +120,7 @@ func (h *Heartbeat) Start() {
 		return
 	}
 	h.started = true
+	//ftclint:ignore ctxflow probe-loop lifetime root owned by the Start/Stop pair; Stop cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	h.cancel = cancel
 	h.done = make(chan struct{})

@@ -248,6 +248,7 @@ func (s *Switchable) Route(path string) hvac.Decision {
 	// Escape: adaptive jobs must survive what a static NoFT run would
 	// die of. switchTo is idempotent under races — exactly one caller
 	// commits the swap, the rest observe it.
+	//ftclint:ignore hotpathlock the escape switch fires once per declared failure, never on the steady-state route; its trace emit is off the hot path
 	s.switchTo(s.escape, true)
 	return s.active.Load().router.Route(path)
 }

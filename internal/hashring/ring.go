@@ -465,6 +465,7 @@ func (r *Ring) PlanRecache(failed NodeID, keys []string) RecachePlan {
 	m := metrics()
 	m.plans.Inc()
 	m.keysMoved.Add(int64(plan.Lost))
+	//ftclint:ignore hotpathlock recache planning runs once per node failure, not per request; the event-trace lock is uncontended off the steady-state read path
 	telemetry.TraceEvent(telemetry.EventRecachePlanned, string(failed), "plan", int64(plan.Lost))
 	return plan
 }

@@ -341,6 +341,7 @@ func (c *Client) conn(node cluster.NodeID) (*rpc.Client, error) {
 	if s.cli != nil {
 		return s.cli, nil
 	}
+	//ftclint:ignore lockorder per-node slot lock held across the dial on purpose: it dedups concurrent dials to one node and never nests inside another lock
 	nc, err := c.cfg.Network.Dial(ep)
 	if err != nil {
 		return nil, err
@@ -349,6 +350,7 @@ func (c *Client) conn(node cluster.NodeID) (*rpc.Client, error) {
 		nc.Close()
 		return nil, rpc.ErrClosed
 	}
+	//ftclint:ignore lockorder NewClient only spawns the read loop; the send it starts is to the new client's own channel, not anything mu guards
 	s.cli = rpc.NewClient(nc)
 	return s.cli, nil
 }
@@ -1018,6 +1020,7 @@ func (c *Client) maybePushHot(path string, data []byte) {
 		go func() {
 			defer c.replWG.Done()
 			defer func() { <-c.replSem }()
+			//ftclint:ignore ctxflow hot-push replication is asynchronous by design: the triggering read has already returned, so its leg is a detached root trace
 			pctx, sp := trace.StartTrace(context.Background(), "hot.push")
 			sp.Annotate("node", string(node))
 			sp.Annotate("path", path)
@@ -1068,6 +1071,7 @@ func (c *Client) replicateAsync(path string, data []byte) {
 			// Replication is asynchronous by design, so its leg is a
 			// detached root trace: by the time it runs, the read that
 			// triggered it has already returned (and sealed its trace).
+			//ftclint:ignore ctxflow detached root by design, per the comment above: the triggering read has already sealed its trace
 			pctx, sp := trace.StartTrace(context.Background(), "replica.push")
 			sp.Annotate("node", string(node))
 			sp.Annotate("path", path)

@@ -196,6 +196,7 @@ func (w *appendWorker) enqueue(path string, data []byte) error {
 		// callers, so no single caller's trace can parent it. Starting at
 		// batch creation makes the span duration cover build + queue +
 		// send — the full latency an object can see inside the pipeline.
+		//ftclint:ignore ctxflow detached root by design, per the comment above: a batch aggregates many callers, so none of their traces can parent it
 		_, w.cur.span = trace.StartTrace(context.Background(), "ingest.batch")
 		w.cur.span.Annotate("node", string(w.node))
 		// 4-byte count placeholder, patched at seal.
@@ -206,6 +207,7 @@ func (w *appendWorker) enqueue(path string, data []byte) error {
 	w.cur.paths = append(w.cur.paths, path)
 	cliMetrics().ingestEntries.Inc()
 	if w.cur.entries() >= cfg.MaxBatchEntries || w.cur.enc.Len() >= cfg.MaxBatchBytes {
+		//ftclint:ignore lockorder sealLocked's queue send is safe under mu: the sender drains w.ch without ever taking the worker lock
 		w.sealLocked(flushReasonSize)
 	}
 	return nil
@@ -217,6 +219,7 @@ func (w *appendWorker) flushAge() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.cur != nil && !w.closed {
+		//ftclint:ignore lockorder sealLocked's queue send is safe under mu: the sender drains w.ch without ever taking the worker lock
 		w.sealLocked(flushReasonAge)
 	}
 }
@@ -307,6 +310,7 @@ func (w *appendWorker) send(b *ingestBatch) {
 		failBatch(err)
 		return
 	}
+	//ftclint:ignore ctxflow the sender goroutine outlives every enqueueing caller, so there is no caller context; RPCTimeout bounds the call instead
 	callCtx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
 	defer cancel()
 	payload, status, err := cli.Call(callCtx, OpPutBatch, b.enc.Bytes())
@@ -387,6 +391,7 @@ func (in *ingester) barrier(ctx context.Context) error {
 	for _, w := range workers {
 		w.mu.Lock()
 		if w.cur != nil && !w.closed {
+			//ftclint:ignore lockorder sealLocked's queue send is safe under mu: the sender drains w.ch without ever taking the worker lock
 			w.sealLocked(flushReasonSync)
 		}
 		wait = append(wait, w.unacked...)
@@ -422,6 +427,7 @@ func (in *ingester) close() {
 	for _, w := range workers {
 		w.mu.Lock()
 		if w.cur != nil {
+			//ftclint:ignore lockorder sealLocked's queue send is safe under mu: the sender drains w.ch without ever taking the worker lock
 			w.sealLocked(flushReasonSync)
 		}
 		w.closed = true
@@ -451,6 +457,7 @@ func (c *Client) PutAsync(path string, data []byte) error {
 		return fmt.Errorf("hvac: no owner for %s", path)
 	}
 	if c.ingest == nil {
+		//ftclint:ignore ctxflow PutAsync is fire-and-forget by contract — its signature deliberately takes no context, so the sync fallback has none to plumb
 		return c.Put(context.Background(), path, data)
 	}
 	if err := c.ingest.enqueue(owners[0], path, data); err != nil {

@@ -122,6 +122,7 @@ func (m *Mover) run() {
 		// already sealed its trace by the time the worker runs. Inline
 		// fills don't get one — they are timed inside the read's own
 		// storage span.
+		//ftclint:ignore ctxflow detached root by design, per the comment above: the read that queued this fill sealed its trace before the worker ran
 		_, sp := trace.StartTrace(context.Background(), "mover.recache")
 		sp.Annotate("node", m.node)
 		sp.Annotate("path", job.path)

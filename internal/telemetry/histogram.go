@@ -19,8 +19,8 @@ import (
 // arithmetic (bits.Len64 + shifts), so Observe is one index computation
 // and one atomic add — no locks, no allocation, no float math.
 const (
-	histStripes = 8               // power of two; stripe picked per-goroutine
-	numBuckets  = 8 + (64-3)*4    // 252: exact 0..7, then 4 per octave up to 2^64
+	histStripes = 8            // power of two; stripe picked per-goroutine
+	numBuckets  = 8 + (64-3)*4 // 252: exact 0..7, then 4 per octave up to 2^64
 )
 
 // bucketIndex maps a value to its bucket.
